@@ -1,0 +1,62 @@
+"""Ablations of HDR4ME's design choices (Section V discussion).
+
+Three studies:
+* envelope confidence behind the λ* "sup";
+* the harmful regime the paper warns about ("if the number of dimensions
+  is not high or the collective privacy budget is rather large … our
+  re-calibration can be harmful");
+* equivalence of the one-off solvers (Eq. 34/42) with converged PGD.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_confidence_ablation,
+    run_harmful_regime,
+    run_solver_equivalence,
+)
+from bench_config import BENCH_SEED
+
+USERS = 15_000
+
+
+def test_confidence_ablation(benchmark, record_artefact):
+    result = benchmark.pedantic(
+        run_confidence_ablation,
+        kwargs=dict(users=USERS, rng=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    record_artefact("ablation_confidence", result.format())
+    # Every confidence level beats the unregularized baseline here
+    # (d = 100, eps = 0.4 is deep inside the high-noise regime).
+    for row in result.rows:
+        assert row.values["l1"] < result.baseline_mse
+        assert row.values["l2"] < result.baseline_mse
+
+
+def test_harmful_regime(benchmark, record_artefact):
+    result = benchmark.pedantic(
+        run_harmful_regime,
+        kwargs=dict(users=USERS, rng=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    record_artefact("ablation_harmful", result.format())
+    # Helps in the high-d / small-eps corner...
+    assert result.ratios[-1, 0] < 1.0
+    # ...and is harmful (or at best neutral) in the low-d / large-eps corner.
+    assert result.ratios[0, -1] > 0.99
+
+
+def test_solver_equivalence(benchmark, record_artefact):
+    result = benchmark.pedantic(
+        run_solver_equivalence, kwargs=dict(rng=BENCH_SEED), rounds=1, iterations=1
+    )
+    record_artefact("ablation_solver", result.format())
+    assert result.max_divergence_l1 < 1e-9
+    assert result.max_divergence_l2 < 1e-9
+    # "One-off, non-iterative": PGD converges immediately on the quadratic
+    # loss (one productive step + the convergence check).
+    assert result.iterations_l1 <= 2
+    assert result.iterations_l2 <= 2

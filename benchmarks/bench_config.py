@@ -1,0 +1,4 @@
+"""Shared configuration for the benchmark harness."""
+
+#: Seed shared by all benchmarks (reruns are reproducible).
+BENCH_SEED = 2022

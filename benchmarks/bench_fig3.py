@@ -1,0 +1,39 @@
+"""Fig. 3 (a–b) — CLT prediction vs experiment for the IV-C case study.
+
+Paper setting: the discretized Uniform data of the case study
+(values {0.1, …, 1.0}, r = 10,000 reports, ε/m = 0.001), Piecewise and
+Square wave, 1,000 repetitions. The analytical pdfs are Eq. 16
+(N(0, 533.210) for Piecewise) and Eq. 20 (N(−0.049, 3.365e−5) for Square).
+
+Scaled-down to 400 repetitions. Shape asserted: the models carry the
+paper's constants and the empirical pdfs match them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3
+from bench_config import BENCH_SEED
+
+REPEATS = 400
+
+
+def test_fig3(benchmark, record_artefact):
+    results = benchmark.pedantic(
+        run_fig3, kwargs=dict(repeats=REPEATS, rng=BENCH_SEED), rounds=1, iterations=1
+    )
+    piecewise, square = results
+    record_artefact("fig3_piecewise", piecewise.format())
+    record_artefact("fig3_square", square.format())
+
+    # Eq. 16: Piecewise deviation ~ N(0, 533.210).
+    assert abs(piecewise.model.delta) < 1e-9
+    assert abs(piecewise.model.sigma**2 - 533.210) < 5.0
+
+    # Eq. 20: Square deviation ~ N(-0.049, 3.365e-5).
+    assert abs(square.model.delta - (-0.049)) < 3e-3
+    assert abs(square.model.sigma**2 - 3.365e-5) < 5e-6
+
+    for result in results:
+        assert result.fit.mean_error < 0.35 * result.model.sigma
+        assert 0.85 < result.fit.std_ratio < 1.15
+        assert result.fit.ks_statistic < 0.1

@@ -1,0 +1,49 @@
+"""Table II — analytical supremum-probability benchmark (Section IV-C).
+
+Paper rows (one dimension, ε/m = 0.001, r = 10,000):
+
+    ξ           0.001      0.01     0.05    0.1
+    Piecewise   3.46e-5    3.46e-4  0.002   0.004
+    Square      2.12e-16   2.62e-11 0.644   1.000
+
+Shape asserted: Piecewise wins at small ξ (unbiasedness), Square wave wins
+decisively at large ξ (tiny variance); the Piecewise column reproduces the
+paper to three significant figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import PAPER_TABLE2, run_case_study
+from bench_config import BENCH_SEED
+
+
+def test_table2(benchmark, record_artefact):
+    result = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    record_artefact("table2", result.format())
+
+    table = result.table
+    piecewise = dict(zip(table.rows[0].suprema, table.rows[0].probabilities))
+    square = dict(zip(table.rows[1].suprema, table.rows[1].probabilities))
+
+    # Who wins where (the paper's headline observation).
+    assert piecewise[0.001] > square[0.001]
+    assert piecewise[0.01] > square[0.01]
+    assert square[0.05] > piecewise[0.05]
+    assert square[0.1] > piecewise[0.1]
+    assert square[0.1] > 0.999
+
+    # Piecewise column matches the paper numerically.
+    expected = PAPER_TABLE2["piecewise"]
+    np.testing.assert_allclose(
+        [piecewise[0.001], piecewise[0.01]], expected[:2], rtol=0.01
+    )
+    # The paper rounds the last two cells to one significant figure.
+    assert abs(piecewise[0.05] - expected[2]) < 5e-4
+    assert abs(piecewise[0.1] - expected[3]) < 1e-3
+
+    # The framework's model constants (Eq. 15 and Eq. 19).
+    assert abs(result.piecewise_model.sigma**2 - 533.210) < 0.5
+    assert abs(result.square_model.delta - (-0.049)) < 2e-3
+    assert abs(result.square_model.sigma**2 - 3.365e-5) < 5e-7

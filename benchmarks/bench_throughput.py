@@ -1,0 +1,36 @@
+"""Perturbation throughput of every mechanism (engineering benchmark).
+
+Not a paper artefact — this is the benchmark that keeps the vectorized
+samplers honest: each mechanism perturbs a 500k-value batch and
+pytest-benchmark reports values/second. A regression here (e.g. an
+accidental Python-level loop) multiplies every Fig. 4/5 regeneration
+time, so the bench also asserts a conservative throughput floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import available_mechanisms, get_mechanism
+from bench_config import BENCH_SEED
+
+BATCH = 500_000
+EPSILON = 1.0
+#: Conservative floor (values/second) — real numbers are ~10-100x higher.
+MIN_THROUGHPUT = 1e5
+
+
+@pytest.mark.parametrize("name", sorted(available_mechanisms()))
+def test_perturb_throughput(benchmark, name):
+    mechanism = get_mechanism(name)
+    lo, hi = mechanism.input_domain
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.uniform(lo, hi, size=BATCH)
+
+    out = benchmark(mechanism.perturb, values, EPSILON, rng)
+    assert out.shape == values.shape
+    seconds = benchmark.stats.stats.mean
+    assert BATCH / seconds > MIN_THROUGHPUT, (
+        "%s perturbs only %.0f values/s" % (name, BATCH / seconds)
+    )

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artefact at a scaled-down (but
+shape-preserving) configuration, prints the same rows/series the paper
+reports, and archives them under ``benchmarks/results/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+regenerated tables/figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Seed shared by all benchmarks (reruns are reproducible).
+BENCH_SEED = 2022
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where regenerated artefacts are archived."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_artefact(results_dir):
+    """Callable(name, text): print an artefact and archive it."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / ("%s.txt" % name)).write_text(text + "\n")
+
+    return _record

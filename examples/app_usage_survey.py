@@ -1,0 +1,79 @@
+"""Private categorical survey: frequency estimation with HDR4ME (V-C).
+
+A mobile vendor surveys which of 64 app categories is each user's most
+used, under ε-LDP. Categorical answers are histogram-encoded (Section
+V-C): each one-hot entry is perturbed with budget ε/2, entry means become
+category frequencies, and HDR4ME can re-calibrate the frequency vector
+exactly like a mean.
+
+The example compares three mechanisms, with and without L2 re-calibration,
+against the true (non-private) frequencies, and also demonstrates the
+multi-attribute pipeline (several categorical questions per user).
+
+Run:  python examples/app_usage_survey.py
+"""
+
+import numpy as np
+
+from repro import FrequencyEstimator, Recalibrator, get_mechanism
+from repro.experiments import zipf_categories
+from repro.hdr4me import true_frequencies
+from repro.protocol import FrequencyEstimationPipeline
+
+USERS, CATEGORIES, EPSILON, SEED = 60_000, 64, 1.0, 3
+
+
+def frequency_mse(estimate: np.ndarray, truth: np.ndarray) -> float:
+    return float(np.mean((estimate - truth) ** 2))
+
+
+def main() -> None:
+    # Zipf-like popularity: a few dominant categories, a long tail.
+    answers = zipf_categories(USERS, CATEGORIES, exponent=1.3, rng=SEED)
+    truth = true_frequencies(answers, CATEGORIES)
+
+    print("single attribute, %d categories, eps=%g:" % (CATEGORIES, EPSILON))
+    for name in ("laplace", "piecewise", "square_wave"):
+        plain = FrequencyEstimator(get_mechanism(name), EPSILON)
+        enhanced = FrequencyEstimator(
+            get_mechanism(name),
+            EPSILON,
+            recalibrator=Recalibrator(norm="l2"),
+        )
+        est_plain = plain.estimate(answers, CATEGORIES, rng=SEED + 1)
+        est_enh = enhanced.estimate(answers, CATEGORIES, rng=SEED + 1)
+        print(
+            "  %-12s raw MSE %.2e | L2-recalibrated MSE %.2e"
+            % (
+                name,
+                frequency_mse(est_plain.best(), truth),
+                frequency_mse(est_enh.best(), truth),
+            )
+        )
+
+    # Multi-attribute survey: 3 questions, each user answers m = 1.
+    questions = np.column_stack(
+        [
+            zipf_categories(USERS, 16, exponent=1.1, rng=SEED + q)
+            for q in range(3)
+        ]
+    )
+    pipeline = FrequencyEstimationPipeline(
+        get_mechanism("piecewise"),
+        epsilon=EPSILON,
+        category_counts=[16, 16, 16],
+        sampled_dimensions=1,
+    )
+    estimates = pipeline.run(questions, rng=SEED + 9)
+    print()
+    print("three questions, each user answers one (m=1):")
+    for q, estimate in enumerate(estimates):
+        q_truth = true_frequencies(questions[:, q], 16)
+        print(
+            "  question %d: %d respondents, MSE %.2e"
+            % (q, estimate.reports, frequency_mse(estimate.best(), q_truth))
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: private mean estimation with and without HDR4ME.
+
+Simulates the paper's end-to-end flow on a sparse-signal Gaussian dataset:
+
+1. every user perturbs her tuple locally (Piecewise mechanism, ε = 0.5
+   split over 100 dimensions — the "diluted budget" regime);
+2. the collector aggregates the noisy reports into θ̂;
+3. the analytical framework (Section IV) models the deviation θ̂ − θ̄;
+4. HDR4ME (Section V) re-calibrates θ̂ with L1 and L2 regularization.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MeanEstimationPipeline,
+    Recalibrator,
+    gaussian_dataset,
+    get_mechanism,
+    mse,
+    true_mean,
+)
+
+USERS, DIMENSIONS, EPSILON, SEED = 50_000, 100, 0.5, 0
+
+
+def main() -> None:
+    # A dataset where 10% of dimensions carry signal (mean 0.9) and the
+    # rest are near zero — the paper's Gaussian dataset.
+    data = gaussian_dataset(users=USERS, dimensions=DIMENSIONS, rng=SEED)
+    truth = true_mean(data)
+
+    mechanism = get_mechanism("piecewise")
+    pipeline = MeanEstimationPipeline(mechanism, EPSILON, dimensions=DIMENSIONS)
+
+    # 1-2: local perturbation + aggregation.
+    result = pipeline.run(data, rng=SEED + 1)
+    print("collected %d reports per dimension" % result.aggregation.min_reports)
+    print("baseline MSE: %.4f" % mse(result.theta_hat, truth))
+
+    # 3: the Theorem 1 deviation model for this exact configuration.
+    model = pipeline.deviation_model(users=result.users, data=data)
+    print(
+        "framework predicts per-dimension deviation sigma ~ %.3f "
+        "and MSE ~ %.4f" % (model.sigmas.mean(), model.predicted_mse())
+    )
+
+    # 4: one-off re-calibration — no change to the mechanism or the users.
+    for norm in ("l1", "l2"):
+        enhanced = Recalibrator(norm=norm).recalibrate(result.theta_hat, model)
+        print(
+            "HDR4ME-%s MSE: %.4f  (improvement guarantee holds w.p. >= %.3f)"
+            % (
+                norm.upper(),
+                mse(enhanced.theta_star, truth),
+                enhanced.guarantee.paper_bound,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

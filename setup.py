@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``. This file exists
+only so that editable installs work on environments whose ``pip``/
+``setuptools`` lack PEP 660 support (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""repro — reproduction of "Utility Analysis and Enhancement of LDP
+Mechanisms in High-Dimensional Space" (Duan, Ye, Hu; ICDE 2022).
+
+The library has three layers:
+
+1. **Substrates** — :mod:`repro.mechanisms` (six LDP mechanisms),
+   :mod:`repro.protocol` (the sampling/aggregation protocol),
+   :mod:`repro.datasets` (Section VI data generators) and
+   :mod:`repro.analysis` (utility metrics and density diagnostics).
+2. **The paper's contributions** — :mod:`repro.framework` (the Section IV
+   analytical utility framework: Lemmas 2–3, Theorems 1–2, Table II
+   benchmarking) and :mod:`repro.hdr4me` (the Section V HDR4ME
+   re-calibration protocol with L1/L2 regularization and the frequency
+   extension).
+3. **Reproduction harness** — :mod:`repro.experiments` (one driver per
+   table/figure plus a CLI).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        MeanEstimationPipeline, Recalibrator, get_mechanism,
+        gaussian_dataset, true_mean, mse,
+    )
+
+    data = gaussian_dataset(users=20_000, dimensions=100, rng=0)
+    pipeline = MeanEstimationPipeline(get_mechanism("piecewise"),
+                                      epsilon=0.5, dimensions=100)
+    result = pipeline.run(data, rng=1)
+    model = pipeline.deviation_model(users=result.users, data=data)
+    enhanced = Recalibrator(norm="l1").recalibrate(result.theta_hat, model)
+    print(mse(result.theta_hat, true_mean(data)),
+          mse(enhanced.theta_star, true_mean(data)))
+"""
+
+from .analysis import (
+    UtilityReport,
+    compare_estimates,
+    gaussian_fit,
+    l2_deviation,
+    max_abs_deviation,
+    mse,
+    true_mean,
+)
+from .exceptions import (
+    AggregationError,
+    CalibrationError,
+    DimensionError,
+    DistributionError,
+    DomainError,
+    PrivacyBudgetError,
+    ReproError,
+)
+from .framework import (
+    BerryEsseenBound,
+    DeviationModel,
+    MultivariateDeviationModel,
+    ValueDistribution,
+    benchmark_mechanisms,
+    berry_esseen_bound,
+    build_deviation_model,
+    build_multivariate_model,
+    convergence_curve,
+)
+from .hdr4me import (
+    FrequencyEstimator,
+    ProximalGradientSolver,
+    RecalibrationResult,
+    Recalibrator,
+    recalibrate_l1,
+    recalibrate_l2,
+)
+from .mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+    StaircaseMechanism,
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
+from .protocol import (
+    Aggregator,
+    BudgetPlan,
+    Client,
+    FrequencyEstimationPipeline,
+    MeanEstimationPipeline,
+)
+from .datasets import (
+    available_datasets,
+    cov19_like,
+    gaussian_dataset,
+    load_dataset,
+    normalize,
+    poisson_dataset,
+    uniform_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "Aggregator",
+    "BerryEsseenBound",
+    "BudgetPlan",
+    "CalibrationError",
+    "Client",
+    "DeviationModel",
+    "DimensionError",
+    "DistributionError",
+    "DomainError",
+    "DuchiMechanism",
+    "FrequencyEstimationPipeline",
+    "FrequencyEstimator",
+    "HybridMechanism",
+    "LaplaceMechanism",
+    "MeanEstimationPipeline",
+    "Mechanism",
+    "MultivariateDeviationModel",
+    "PiecewiseMechanism",
+    "PrivacyBudgetError",
+    "ProximalGradientSolver",
+    "RecalibrationResult",
+    "Recalibrator",
+    "ReproError",
+    "SquareWaveMechanism",
+    "StaircaseMechanism",
+    "UtilityReport",
+    "ValueDistribution",
+    "available_datasets",
+    "available_mechanisms",
+    "benchmark_mechanisms",
+    "berry_esseen_bound",
+    "build_deviation_model",
+    "build_multivariate_model",
+    "compare_estimates",
+    "convergence_curve",
+    "cov19_like",
+    "gaussian_dataset",
+    "gaussian_fit",
+    "get_mechanism",
+    "l2_deviation",
+    "load_dataset",
+    "max_abs_deviation",
+    "mse",
+    "normalize",
+    "poisson_dataset",
+    "recalibrate_l1",
+    "recalibrate_l2",
+    "register_mechanism",
+    "true_mean",
+    "uniform_dataset",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Utility metrics, density diagnostics and empirical LDP auditing."""
+
+from .audit import AuditResult, audit_mechanism
+from .density import (
+    EmpiricalDensity,
+    GaussianFit,
+    empirical_pdf,
+    gaussian_fit,
+    pdf_overlay,
+)
+from .metrics import (
+    UtilityReport,
+    compare_estimates,
+    l2_deviation,
+    max_abs_deviation,
+    mse,
+    true_mean,
+)
+
+__all__ = [
+    "AuditResult",
+    "EmpiricalDensity",
+    "GaussianFit",
+    "UtilityReport",
+    "audit_mechanism",
+    "compare_estimates",
+    "empirical_pdf",
+    "gaussian_fit",
+    "l2_deviation",
+    "max_abs_deviation",
+    "mse",
+    "pdf_overlay",
+    "true_mean",
+]

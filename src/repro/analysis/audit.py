@@ -1,0 +1,156 @@
+"""Empirical ε-LDP auditing of perturbation mechanisms.
+
+Definition 1 of the paper requires, for every pair of inputs ``t₁, t₂``
+and every output, ``Pr[M(t₁) = t*] / Pr[M(t₂) = t*] ≤ e^ε``. The
+analytical mechanisms in this library satisfy that by construction; this
+module provides the *empirical* check — sample both conditional output
+distributions, histogram them on a common grid, and estimate the largest
+log-ratio. It serves two purposes:
+
+* a defence-in-depth test for the shipped samplers (a sampler bug that
+  violated the privacy budget would not be caught by moment tests — the
+  square-wave tail bug in this repo's history distorted moments *and*
+  ratios, and this auditor flags such bugs directly);
+* a tool for users registering their own mechanisms.
+
+Estimating density ratios from samples is noisy in sparsely populated
+bins, so the auditor only scores bins with at least ``min_count`` samples
+on both sides and reports the observed maximum together with the number
+of bins scored; the statistical slack to allow is the caller's choice
+(the tests use a multiplicative 1.15 at 200k samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..mechanisms.base import Mechanism, validate_epsilon
+from ..rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of one pairwise empirical LDP audit.
+
+    Attributes
+    ----------
+    epsilon:
+        The privacy budget audited against.
+    max_log_ratio:
+        Largest observed |log density ratio| over scored bins (raw, i.e.
+        including sampling noise).
+    max_adjusted_log_ratio:
+        Largest |log ratio| after subtracting a 3-sigma per-bin sampling
+        allowance ``3·√(1/c₁ + 1/c₂)`` — the statistically meaningful
+        quantity to compare against ε (a correct mechanism's adjusted
+        maximum stays below ε with overwhelming probability, while real
+        violations survive the subtraction).
+    worst_pair:
+        The ``(t1, t2)`` input pair achieving the adjusted maximum.
+    bins_scored:
+        Number of (pair, bin) combinations that had enough mass to score.
+    """
+
+    epsilon: float
+    max_log_ratio: float
+    max_adjusted_log_ratio: float
+    worst_pair: Tuple[float, float]
+    bins_scored: int
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the noise-adjusted ratios stay within ``e^ε``."""
+        return self.max_adjusted_log_ratio <= self.epsilon
+
+    def satisfied_with_slack(self, multiplicative_slack: float = 1.15) -> bool:
+        """Adjusted-bound check with extra multiplicative headroom."""
+        return self.max_adjusted_log_ratio <= self.epsilon * multiplicative_slack
+
+
+def audit_mechanism(
+    mechanism: Mechanism,
+    epsilon: float,
+    inputs: Optional[Sequence[float]] = None,
+    samples: int = 200_000,
+    bins: int = 40,
+    min_count: int = 50,
+    rng: RngLike = None,
+) -> AuditResult:
+    """Empirically audit ``mechanism`` against its declared ε at ``epsilon``.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism under audit.
+    epsilon:
+        Budget to perturb with (and bound to check).
+    inputs:
+        Input values to pair up; defaults to the domain endpoints and
+        midpoint (the extreme pairs are where the ratio peaks for every
+        shipped mechanism).
+    samples:
+        Draws per input.
+    bins:
+        Histogram resolution over the pooled output range.
+    min_count:
+        Minimum per-bin count on *both* sides for the bin to be scored.
+    rng:
+        Seed or generator.
+    """
+    eps = validate_epsilon(epsilon)
+    if samples < 1000:
+        raise DimensionError("need at least 1000 samples, got %d" % samples)
+    gen = ensure_rng(rng)
+    lo, hi = mechanism.input_domain
+    if inputs is None:
+        inputs = (lo, 0.5 * (lo + hi), hi)
+    values = [float(v) for v in inputs]
+    if len(values) < 2:
+        raise DimensionError("need at least two inputs to compare")
+
+    draws = {
+        v: mechanism.perturb(np.full(samples, v), eps, gen) for v in values
+    }
+    pooled = np.concatenate(list(draws.values()))
+    # Clip the histogram range to the bulk so unbounded mechanisms don't
+    # stretch the grid into regions with no mass.
+    low, high = np.quantile(pooled, [0.001, 0.999])
+    if high <= low:
+        high = low + 1e-9
+    edges = np.linspace(low, high, bins + 1)
+    counts = {
+        v: np.histogram(draws[v], bins=edges)[0].astype(np.float64)
+        for v in values
+    }
+
+    max_log_ratio = 0.0
+    max_adjusted = 0.0
+    worst_pair = (values[0], values[1])
+    bins_scored = 0
+    for i, t1 in enumerate(values):
+        for t2 in values[i + 1 :]:
+            c1, c2 = counts[t1], counts[t2]
+            mask = (c1 >= min_count) & (c2 >= min_count)
+            bins_scored += int(mask.sum())
+            if not mask.any():
+                continue
+            ratios = np.abs(np.log(c1[mask] / c2[mask]))
+            # 3-sigma Poisson allowance on the log ratio of two counts.
+            allowance = 3.0 * np.sqrt(1.0 / c1[mask] + 1.0 / c2[mask])
+            adjusted = np.maximum(ratios - allowance, 0.0)
+            max_log_ratio = max(max_log_ratio, float(ratios.max()))
+            local_adjusted = float(adjusted.max())
+            if local_adjusted >= max_adjusted:
+                max_adjusted = local_adjusted
+                worst_pair = (t1, t2)
+    return AuditResult(
+        epsilon=eps,
+        max_log_ratio=max_log_ratio,
+        max_adjusted_log_ratio=max_adjusted,
+        worst_pair=worst_pair,
+        bins_scored=bins_scored,
+    )

@@ -1,0 +1,54 @@
+"""Dataset generators for the paper's Section VI evaluation.
+
+Four datasets are provided: ``gaussian``, ``poisson``, ``uniform`` (per
+the paper's synthetic specs) and ``cov19`` (a correlated latent-factor
+stand-in for the unavailable Kaggle-derived COV-19 data; see DESIGN.md
+§3). :func:`load_dataset` resolves them by name with the paper-default
+shapes.
+"""
+
+from .covid import (
+    COV19_DIMS,
+    COV19_USERS,
+    cov19_like,
+    mean_absolute_correlation,
+    resample_dimensions,
+)
+from .loader import PAPER_SHAPES, available_datasets, load_dataset
+from .normalize import ColumnScaler, fit_scaler, normalize
+from .synthetic import (
+    GAUSSIAN_DIMS,
+    GAUSSIAN_USERS,
+    POISSON_DIMS,
+    POISSON_USERS,
+    UNIFORM_DIMS,
+    UNIFORM_USERS,
+    discretized_uniform_dataset,
+    gaussian_dataset,
+    poisson_dataset,
+    uniform_dataset,
+)
+
+__all__ = [
+    "COV19_DIMS",
+    "COV19_USERS",
+    "ColumnScaler",
+    "GAUSSIAN_DIMS",
+    "GAUSSIAN_USERS",
+    "PAPER_SHAPES",
+    "POISSON_DIMS",
+    "POISSON_USERS",
+    "UNIFORM_DIMS",
+    "UNIFORM_USERS",
+    "available_datasets",
+    "cov19_like",
+    "discretized_uniform_dataset",
+    "fit_scaler",
+    "gaussian_dataset",
+    "load_dataset",
+    "mean_absolute_correlation",
+    "normalize",
+    "poisson_dataset",
+    "resample_dimensions",
+    "uniform_dataset",
+]

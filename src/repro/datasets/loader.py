@@ -1,0 +1,84 @@
+"""Name-based dataset loader used by experiments and the CLI.
+
+Mirrors :mod:`repro.mechanisms.registry`: every experiment configuration
+refers to its dataset by the paper's name ("gaussian", "poisson",
+"uniform", "cov19"), optionally overriding the user/dimension counts for
+scaled-down runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..rng import RngLike
+from .covid import COV19_DIMS, COV19_USERS, cov19_like
+from .synthetic import (
+    GAUSSIAN_DIMS,
+    GAUSSIAN_USERS,
+    POISSON_DIMS,
+    POISSON_USERS,
+    UNIFORM_DIMS,
+    UNIFORM_USERS,
+    discretized_uniform_dataset,
+    gaussian_dataset,
+    poisson_dataset,
+    uniform_dataset,
+)
+
+DatasetFactory = Callable[[int, int, RngLike], np.ndarray]
+
+#: Paper-default shapes per dataset name.
+PAPER_SHAPES: Dict[str, tuple] = {
+    "gaussian": (GAUSSIAN_USERS, GAUSSIAN_DIMS),
+    "poisson": (POISSON_USERS, POISSON_DIMS),
+    "uniform": (UNIFORM_USERS, UNIFORM_DIMS),
+    "cov19": (COV19_USERS, COV19_DIMS),
+    "discretized_uniform": (UNIFORM_USERS, UNIFORM_DIMS),
+}
+
+_FACTORIES: Dict[str, DatasetFactory] = {
+    "gaussian": lambda n, d, rng: gaussian_dataset(n, d, rng=rng),
+    "poisson": lambda n, d, rng: poisson_dataset(n, d, rng=rng),
+    "uniform": lambda n, d, rng: uniform_dataset(n, d, rng=rng),
+    "cov19": lambda n, d, rng: cov19_like(n, d, rng=rng),
+    "discretized_uniform": lambda n, d, rng: discretized_uniform_dataset(
+        n, d, rng=rng
+    ),
+}
+
+
+def available_datasets() -> List[str]:
+    """Sorted names accepted by :func:`load_dataset`."""
+    return sorted(_FACTORIES)
+
+
+def load_dataset(
+    name: str,
+    users: Optional[int] = None,
+    dimensions: Optional[int] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Generate the named dataset, defaulting to the paper's shape.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    users, dimensions:
+        Optional overrides of the paper-default shape (used by the
+        scaled-down benchmark harness).
+    rng:
+        Seed or generator.
+    """
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            "unknown dataset %r; available: %s"
+            % (name, ", ".join(available_datasets()))
+        ) from None
+    default_users, default_dims = PAPER_SHAPES[key]
+    return factory(users or default_users, dimensions or default_dims, rng)

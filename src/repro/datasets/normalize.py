@@ -1,0 +1,78 @@
+"""Column normalization helpers.
+
+The paper normalizes every dimension into ``[−1, 1]`` before collection
+(Section VI). These helpers perform per-column min-max normalization to an
+arbitrary target interval and keep the inverse transform available so
+estimates can be mapped back to original units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DomainError
+
+
+@dataclass(frozen=True)
+class ColumnScaler:
+    """Invertible per-column min-max map onto a target interval.
+
+    Attributes
+    ----------
+    minima / maxima:
+        Observed per-column extremes of the fitted data.
+    target:
+        The interval columns are mapped onto.
+    """
+
+    minima: np.ndarray
+    maxima: np.ndarray
+    target: Tuple[float, float]
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Map ``data`` columns onto the target interval."""
+        lo, hi = self.target
+        span = self.maxima - self.minima
+        unit = (np.asarray(data, dtype=np.float64) - self.minima) / span
+        return lo + unit * (hi - lo)
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Map normalized values back to original units."""
+        lo, hi = self.target
+        unit = (np.asarray(data, dtype=np.float64) - lo) / (hi - lo)
+        return self.minima + unit * (self.maxima - self.minima)
+
+
+def fit_scaler(
+    data: np.ndarray, target: Tuple[float, float] = (-1.0, 1.0)
+) -> ColumnScaler:
+    """Fit a :class:`ColumnScaler` on an ``(n, d)`` matrix.
+
+    Raises
+    ------
+    DomainError
+        If any column is constant (zero range cannot be normalized) or the
+        target interval is degenerate.
+    """
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DomainError("data must be an (n, d) matrix")
+    lo, hi = target
+    if not hi > lo:
+        raise DomainError("target interval must be non-degenerate")
+    minima = matrix.min(axis=0)
+    maxima = matrix.max(axis=0)
+    if np.any(maxima - minima <= 0):
+        constant = int(np.sum(maxima - minima <= 0))
+        raise DomainError("%d constant column(s) cannot be normalized" % constant)
+    return ColumnScaler(minima=minima, maxima=maxima, target=(float(lo), float(hi)))
+
+
+def normalize(
+    data: np.ndarray, target: Tuple[float, float] = (-1.0, 1.0)
+) -> np.ndarray:
+    """One-shot per-column min-max normalization onto ``target``."""
+    return fit_scaler(data, target).transform(data)

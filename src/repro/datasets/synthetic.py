@@ -1,0 +1,115 @@
+"""Synthetic datasets matching the paper's Section VI specifications.
+
+Three generators, with the paper's parameters as defaults:
+
+* :func:`gaussian_dataset` — "The standard deviation of all dimensions is
+  set to 1/16. 10% dimensions have their mathematical expectations
+  µ = 0.9 whereas the other 90% have µ = 0." Values are clipped into
+  ``[−1, 1]`` (σ = 1/16 makes clipping negligible).
+* :func:`poisson_dataset` — "each dimension follows a Poisson distribution
+  with a random expectation from 1 to 99", then min-max normalized into
+  ``[−1, 1]`` as the paper does with all data.
+* :func:`uniform_dataset` — tunable users and dimensions, uniform on
+  ``[−1, 1]``.
+
+All generators return ``float64`` matrices of shape ``(users,
+dimensions)`` ready for the collection pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..rng import RngLike, ensure_rng
+from .normalize import normalize
+
+#: Paper defaults for the Gaussian dataset sweep (Fig. 4 a–c).
+GAUSSIAN_USERS, GAUSSIAN_DIMS = 100_000, 100
+
+#: Paper defaults for the Poisson dataset (Fig. 4 d–f).
+POISSON_USERS, POISSON_DIMS = 150_000, 300
+
+#: Paper defaults for the Uniform dataset sweep (Fig. 4 g–i).
+UNIFORM_USERS, UNIFORM_DIMS = 120_000, 500
+
+
+def _check_shape(users: int, dimensions: int) -> None:
+    if users < 1 or dimensions < 1:
+        raise DimensionError(
+            "users and dimensions must be >= 1, got (%d, %d)" % (users, dimensions)
+        )
+
+
+def gaussian_dataset(
+    users: int = GAUSSIAN_USERS,
+    dimensions: int = GAUSSIAN_DIMS,
+    high_mean: float = 0.9,
+    high_fraction: float = 0.1,
+    std: float = 1.0 / 16.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sparse-signal Gaussian dataset (paper Section VI, item 2).
+
+    A ``high_fraction`` share of the dimensions carries mean
+    ``high_mean``; the rest are centred at zero. This is the dataset on
+    which L1's sparsification is expected to shine: most true means are
+    exactly the kind of near-zero signal the soft threshold suppresses.
+    """
+    _check_shape(users, dimensions)
+    if not 0.0 <= high_fraction <= 1.0:
+        raise DimensionError("high_fraction must lie in [0, 1]")
+    gen = ensure_rng(rng)
+    n_high = int(round(high_fraction * dimensions))
+    means = np.zeros(dimensions)
+    means[:n_high] = high_mean
+    gen.shuffle(means)
+    data = gen.normal(loc=means[None, :], scale=std, size=(users, dimensions))
+    return np.clip(data, -1.0, 1.0)
+
+
+def poisson_dataset(
+    users: int = POISSON_USERS,
+    dimensions: int = POISSON_DIMS,
+    min_rate: float = 1.0,
+    max_rate: float = 99.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Poisson dataset with per-dimension random rates (Section VI, item 3)."""
+    _check_shape(users, dimensions)
+    if not 0 < min_rate <= max_rate:
+        raise DimensionError("need 0 < min_rate <= max_rate")
+    gen = ensure_rng(rng)
+    rates = gen.uniform(min_rate, max_rate, size=dimensions)
+    data = gen.poisson(lam=rates[None, :], size=(users, dimensions)).astype(np.float64)
+    return normalize(data)
+
+
+def uniform_dataset(
+    users: int = UNIFORM_USERS,
+    dimensions: int = UNIFORM_DIMS,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Uniform dataset on ``[−1, 1]`` (Section VI, item 4)."""
+    _check_shape(users, dimensions)
+    gen = ensure_rng(rng)
+    return gen.uniform(-1.0, 1.0, size=(users, dimensions))
+
+
+def discretized_uniform_dataset(
+    users: int,
+    dimensions: int,
+    levels: int = 10,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Uniform draws over the case-study grid ``{0.1, 0.2, …, 1.0}``.
+
+    Used by the Fig. 3 validation, which discretizes the Uniform dataset
+    to match the Section IV-C case study exactly.
+    """
+    _check_shape(users, dimensions)
+    if levels < 1:
+        raise DimensionError("levels must be >= 1, got %d" % levels)
+    gen = ensure_rng(rng)
+    grid = np.linspace(0.1, 1.0, levels)
+    return gen.choice(grid, size=(users, dimensions))

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class. Specific subclasses distinguish configuration
+mistakes (bad privacy budgets, malformed domains) from runtime data problems
+(values outside the declared domain, empty report sets).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class PrivacyBudgetError(ReproError, ValueError):
+    """Raised when a privacy budget is non-positive or otherwise invalid."""
+
+
+class DomainError(ReproError, ValueError):
+    """Raised when input data fall outside the declared value domain."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Raised when dimension counts are inconsistent (e.g. ``m > d``)."""
+
+
+class AggregationError(ReproError, RuntimeError):
+    """Raised when aggregation is impossible (e.g. a dimension got no reports)."""
+
+
+class CalibrationError(ReproError, ValueError):
+    """Raised when a re-calibration is configured inconsistently."""
+
+
+class DistributionError(ReproError, ValueError):
+    """Raised when a population value distribution is malformed."""

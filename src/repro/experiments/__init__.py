@@ -1,0 +1,133 @@
+"""Reproduction harness: one driver per table/figure of the paper.
+
+=================  =======================================================
+Paper artefact      Driver
+=================  =======================================================
+Table II            :func:`run_case_study`
+Fig. 2 (a–c)        :func:`run_fig2`
+Fig. 3 (a–b)        :func:`run_fig3`
+Fig. 4 (a–l)        :func:`run_mse_sweep` (one call per panel)
+Fig. 5 (a–b)        :func:`run_dimensionality_sweep`
+Theorem 2 example   :func:`worked_example` / :func:`run_convergence`
+V-C extension       :func:`run_frequency_experiment`
+Ablations           :func:`run_confidence_ablation`,
+                    :func:`run_harmful_regime`,
+                    :func:`run_solver_equivalence`
+=================  =======================================================
+
+Each driver defaults to paper scale but takes explicit scale overrides;
+the benchmark harness under ``benchmarks/`` runs scaled-down versions and
+prints the same rows/series the paper reports. A CLI is available as
+``python -m repro.experiments``.
+"""
+
+from .ablation import (
+    ConfidenceAblationResult,
+    HarmfulRegimeResult,
+    SolverEquivalenceResult,
+    run_confidence_ablation,
+    run_harmful_regime,
+    run_solver_equivalence,
+)
+from .base import SeriesRow, format_series, simulate_dimension_deviations
+from .case_study import (
+    CASE_STUDY_EPSILON_PER_DIM,
+    CASE_STUDY_REPORTS,
+    CASE_STUDY_SUPREMA,
+    PAPER_TABLE2,
+    CaseStudyResult,
+    run_case_study,
+)
+from .clt_validation import (
+    CltValidationResult,
+    run_fig2,
+    run_fig3,
+    validate_mechanism,
+)
+from .convergence import (
+    ConvergenceResult,
+    WorkedExample,
+    empirical_cdf_distance,
+    run_convergence,
+    worked_example,
+)
+from .dimensionality import (
+    FIG5_DIMENSIONS,
+    FIG5_EPSILON,
+    FIG5_MECHANISMS,
+    DimensionalitySweepResult,
+    run_dimensionality_sweep,
+)
+from .io import (
+    SerializationError,
+    read_series_csv,
+    read_series_json,
+    write_series_csv,
+    write_series_json,
+)
+from .prediction import (
+    PredictionResult,
+    PredictionRow,
+    run_mse_prediction,
+)
+from .frequency_experiment import (
+    FrequencyExperimentResult,
+    run_frequency_experiment,
+    zipf_categories,
+)
+from .mse_sweep import (
+    FIG4_PANELS,
+    PAPER_EPSILONS,
+    SQUARE_WAVE_EPSILONS,
+    MseSweepResult,
+    default_epsilons,
+    run_mse_sweep,
+)
+
+__all__ = [
+    "CASE_STUDY_EPSILON_PER_DIM",
+    "CASE_STUDY_REPORTS",
+    "CASE_STUDY_SUPREMA",
+    "CaseStudyResult",
+    "CltValidationResult",
+    "ConfidenceAblationResult",
+    "ConvergenceResult",
+    "DimensionalitySweepResult",
+    "FIG4_PANELS",
+    "FIG5_DIMENSIONS",
+    "FIG5_EPSILON",
+    "FIG5_MECHANISMS",
+    "FrequencyExperimentResult",
+    "HarmfulRegimeResult",
+    "MseSweepResult",
+    "PAPER_EPSILONS",
+    "PredictionResult",
+    "PredictionRow",
+    "SerializationError",
+    "PAPER_TABLE2",
+    "SQUARE_WAVE_EPSILONS",
+    "SeriesRow",
+    "SolverEquivalenceResult",
+    "WorkedExample",
+    "default_epsilons",
+    "empirical_cdf_distance",
+    "format_series",
+    "run_case_study",
+    "run_confidence_ablation",
+    "run_convergence",
+    "run_dimensionality_sweep",
+    "run_fig2",
+    "run_fig3",
+    "run_frequency_experiment",
+    "run_harmful_regime",
+    "run_mse_prediction",
+    "run_mse_sweep",
+    "run_solver_equivalence",
+    "simulate_dimension_deviations",
+    "read_series_csv",
+    "read_series_json",
+    "validate_mechanism",
+    "write_series_csv",
+    "write_series_json",
+    "zipf_categories",
+]

@@ -1,0 +1,149 @@
+"""Command-line entry point: ``python -m repro.experiments <artefact>``.
+
+Each subcommand regenerates one paper artefact and prints its rows/series
+to stdout. ``--quick`` runs a scaled-down configuration (the same ones the
+benchmark harness uses); without it the paper-scale defaults apply, which
+can take a long time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ablation import (
+    run_confidence_ablation,
+    run_harmful_regime,
+    run_solver_equivalence,
+)
+from .case_study import run_case_study
+from .clt_validation import run_fig2, run_fig3
+from .convergence import run_convergence, worked_example
+from .dimensionality import FIG5_MECHANISMS, run_dimensionality_sweep
+from .frequency_experiment import run_frequency_experiment
+from .mse_sweep import FIG4_PANELS, run_mse_sweep
+
+#: Scaled-down shapes used by --quick (and the benchmark harness).
+QUICK_USERS = 20_000
+QUICK_REPEATS = 2
+QUICK_CLT_REPEATS = 300
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=0, help="random seed (default 0)"
+    )
+    common.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down run (laptop-seconds instead of paper-scale)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="artefact", required=True)
+
+    sub.add_parser("table2", help="Table II analytical benchmark", parents=[common])
+    sub.add_parser("fig2", help="CLT vs experiment on Uniform", parents=[common])
+    sub.add_parser("fig3", help="CLT vs experiment, case study", parents=[common])
+
+    fig4 = sub.add_parser("fig4", help="MSE vs epsilon panels", parents=[common])
+    fig4.add_argument(
+        "--dataset",
+        default="gaussian",
+        choices=sorted({d for d, _ in FIG4_PANELS}),
+    )
+    fig4.add_argument(
+        "--mechanism",
+        default="laplace",
+        choices=sorted({m for _, m in FIG4_PANELS}),
+    )
+
+    fig5 = sub.add_parser("fig5", help="MSE vs dimensionality on COV-19-like", parents=[common])
+    fig5.add_argument("--mechanism", default="laplace", choices=FIG5_MECHANISMS)
+
+    sub.add_parser("theorem2", help="Berry-Esseen worked example + sweep", parents=[common])
+    sub.add_parser("prediction", help="framework MSE prediction vs experiment", parents=[common])
+    sub.add_parser("ablation", help="HDR4ME design ablations", parents=[common])
+    freq = sub.add_parser("frequency", help="Section V-C frequency extension", parents=[common])
+    freq.add_argument("--mechanism", default="piecewise")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one artefact and print its result; returns a process code."""
+    args = _build_parser().parse_args(argv)
+    seed = args.seed
+    quick = args.quick
+
+    if args.artefact == "table2":
+        print(run_case_study().format())
+    elif args.artefact == "fig2":
+        kwargs = {}
+        if quick:
+            kwargs = dict(users=QUICK_USERS, repeats=QUICK_CLT_REPEATS)
+        for result in run_fig2(rng=seed, **kwargs):
+            print(result.format())
+            print()
+    elif args.artefact == "fig3":
+        kwargs = dict(repeats=QUICK_CLT_REPEATS) if quick else {}
+        for result in run_fig3(rng=seed, **kwargs):
+            print(result.format())
+            print()
+    elif args.artefact == "fig4":
+        kwargs = {}
+        if quick:
+            kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
+        result = run_mse_sweep(
+            dataset=args.dataset, mechanism=args.mechanism, rng=seed, **kwargs
+        )
+        print(result.format())
+    elif args.artefact == "fig5":
+        kwargs = {}
+        if quick:
+            kwargs = dict(
+                users=QUICK_USERS,
+                repeats=QUICK_REPEATS,
+                dimension_grid=(50, 100, 200, 400),
+            )
+        result = run_dimensionality_sweep(
+            mechanism=args.mechanism, rng=seed, **kwargs
+        )
+        print(result.format())
+    elif args.artefact == "theorem2":
+        print(worked_example().format())
+        print()
+        repeats = QUICK_CLT_REPEATS if quick else 0
+        print(run_convergence(empirical_repeats=repeats, rng=seed).format())
+    elif args.artefact == "prediction":
+        from .prediction import run_mse_prediction
+
+        kwargs = {}
+        if quick:
+            kwargs = dict(users=8_000, dimensions=30, repeats=3)
+        print(run_mse_prediction(rng=seed, **kwargs).format())
+    elif args.artefact == "ablation":
+        users = QUICK_USERS if quick else 50_000
+        print(run_confidence_ablation(users=users, rng=seed).format())
+        print()
+        print(run_harmful_regime(users=users, rng=seed).format())
+        print()
+        print(run_solver_equivalence(rng=seed).format())
+    elif args.artefact == "frequency":
+        kwargs = {}
+        if quick:
+            kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
+        result = run_frequency_experiment(
+            mechanism=args.mechanism, rng=seed, **kwargs
+        )
+        print(result.format())
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Section V-C: the frequency-estimation extension of HDR4ME.
+
+The paper generalizes its re-calibration to frequency estimation via
+histogram encoding but tabulates no dedicated experiment; this driver
+provides one. A categorical population with a Zipf-like frequency profile
+is collected under each mechanism with per-entry budget ε/2m, and the MSE
+of the estimated frequency vector (against the exact frequencies) is
+compared with and without HDR4ME re-calibration over a budget grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hdr4me.frequency import (
+    FrequencyEstimator,
+    postprocess_frequencies,
+    true_frequencies,
+)
+from ..hdr4me.recalibrator import Recalibrator
+from ..mechanisms.registry import get_mechanism
+from ..rng import RngLike, ensure_rng, spawn_children
+from .base import SeriesRow, format_series
+
+FREQ_SERIES_LABELS = ("baseline", "l1", "l2")
+
+
+def zipf_categories(
+    users: int,
+    n_categories: int,
+    exponent: float = 1.2,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw category labels with a Zipf(``exponent``) frequency profile."""
+    gen = ensure_rng(rng)
+    ranks = np.arange(1, n_categories + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return gen.choice(n_categories, size=users, p=weights)
+
+
+@dataclass(frozen=True)
+class FrequencyExperimentResult:
+    """Frequency-estimation MSE series over the ε grid."""
+
+    mechanism: str
+    users: int
+    n_categories: int
+    repeats: int
+    rows: List[SeriesRow]
+
+    def format(self) -> str:
+        title = "Frequency estimation, %s (n=%d, v=%d, %d repeats)" % (
+            self.mechanism,
+            self.users,
+            self.n_categories,
+            self.repeats,
+        )
+        return format_series(title, "epsilon", FREQ_SERIES_LABELS, self.rows)
+
+
+def run_frequency_experiment(
+    mechanism: str = "piecewise",
+    epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    users: int = 50_000,
+    n_categories: int = 32,
+    repeats: int = 3,
+    exponent: float = 1.2,
+    rng: RngLike = None,
+) -> FrequencyExperimentResult:
+    """Compare raw vs HDR4ME-re-calibrated frequency estimation.
+
+    All estimates are post-processed identically (clip to [0, 1] and
+    renormalize) so the comparison isolates the re-calibration itself.
+    """
+    gen = ensure_rng(rng)
+    mech_name = mechanism
+    labels = zipf_categories(users, n_categories, exponent, gen)
+    truth = true_frequencies(labels, n_categories)
+
+    rows: List[SeriesRow] = []
+    for epsilon in epsilons:
+        sums = {label: 0.0 for label in FREQ_SERIES_LABELS}
+        for child in spawn_children(gen, repeats):
+            seed = int(child.integers(0, 2**62))
+            for label in FREQ_SERIES_LABELS:
+                recal: Optional[Recalibrator] = None
+                if label != "baseline":
+                    recal = Recalibrator(norm=label)
+                estimator = FrequencyEstimator(
+                    get_mechanism(mech_name),
+                    epsilon,
+                    sampled_dimensions=1,
+                    recalibrator=recal,
+                )
+                # Same seed per variant: identical perturbation, so the
+                # comparison isolates the re-calibration step.
+                estimate = estimator.estimate(labels, n_categories, rng=seed)
+                final = estimate.best(normalize=True)
+                sums[label] += float(np.mean((final - truth) ** 2))
+        rows.append(
+            SeriesRow(
+                x=float(epsilon),
+                values={k: v / repeats for k, v in sums.items()},
+            )
+        )
+    return FrequencyExperimentResult(
+        mechanism=mech_name,
+        users=users,
+        n_categories=n_categories,
+        repeats=repeats,
+        rows=rows,
+    )

@@ -1,0 +1,111 @@
+"""Serialization of experiment series (CSV / JSON round trips).
+
+The benchmark harness archives human-readable text; downstream analysis
+(plotting, regression dashboards) wants machine-readable files. These
+helpers persist any driver result built on
+:class:`~repro.experiments.base.SeriesRow` and load it back losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import List, Sequence, Tuple, Union
+
+from ..exceptions import ReproError
+from .base import SeriesRow
+
+PathLike = Union[str, pathlib.Path]
+
+
+class SerializationError(ReproError):
+    """Raised on malformed series files."""
+
+
+def write_series_csv(
+    path: PathLike,
+    x_label: str,
+    labels: Sequence[str],
+    rows: Sequence[SeriesRow],
+) -> None:
+    """Write rows as a CSV with an ``x`` column plus one per label."""
+    target = pathlib.Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + list(labels))
+        for row in rows:
+            writer.writerow([row.x] + [row.values[label] for label in labels])
+
+
+def read_series_csv(path: PathLike) -> Tuple[str, List[str], List[SeriesRow]]:
+    """Load a series CSV back into ``(x_label, labels, rows)``."""
+    target = pathlib.Path(path)
+    with target.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SerializationError("empty series file: %s" % target) from None
+        if len(header) < 2:
+            raise SerializationError(
+                "series header needs an x column plus values: %r" % header
+            )
+        x_label, labels = header[0], header[1:]
+        rows: List[SeriesRow] = []
+        for record in reader:
+            if len(record) != len(header):
+                raise SerializationError(
+                    "row width %d != header width %d" % (len(record), len(header))
+                )
+            rows.append(
+                SeriesRow(
+                    x=float(record[0]),
+                    values={
+                        label: float(cell)
+                        for label, cell in zip(labels, record[1:])
+                    },
+                )
+            )
+    return x_label, labels, rows
+
+
+def write_series_json(
+    path: PathLike,
+    x_label: str,
+    labels: Sequence[str],
+    rows: Sequence[SeriesRow],
+    metadata: dict = None,
+) -> None:
+    """Write rows (plus optional free-form metadata) as JSON."""
+    payload = {
+        "x_label": x_label,
+        "labels": list(labels),
+        "metadata": metadata or {},
+        "rows": [
+            {"x": row.x, "values": {k: row.values[k] for k in labels}}
+            for row in rows
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_series_json(path: PathLike) -> Tuple[str, List[str], List[SeriesRow], dict]:
+    """Load a series JSON back into ``(x_label, labels, rows, metadata)``."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError("invalid series JSON: %s" % exc) from exc
+    try:
+        rows = [
+            SeriesRow(x=float(item["x"]), values=dict(item["values"]))
+            for item in payload["rows"]
+        ]
+        return (
+            payload["x_label"],
+            list(payload["labels"]),
+            rows,
+            dict(payload.get("metadata", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError("malformed series payload: %s" % exc) from exc

@@ -1,0 +1,44 @@
+"""Section IV: the analytical framework for high-dimensional LDP utility.
+
+Public surface:
+
+* :class:`ValueDistribution` — discrete population model (Lemma 3 input);
+* :func:`build_deviation_model` / :class:`DeviationModel` — Lemmas 2 and 3;
+* :func:`build_multivariate_model` / :class:`MultivariateDeviationModel`
+  — Theorem 1 joint pdf and supremum-box probabilities;
+* :func:`benchmark_mechanisms` — experiment-free mechanism comparison
+  (Table II);
+* :func:`berry_esseen_bound` / :func:`convergence_curve` — Theorem 2.
+"""
+
+from .compare import CrossoverResult, crossover_supremum
+from .benchmark import BenchmarkRow, BenchmarkTable, benchmark_mechanisms
+from .berry_esseen import (
+    BERRY_ESSEEN_CONSTANT,
+    BERRY_ESSEEN_SECONDARY,
+    BerryEsseenBound,
+    berry_esseen_bound,
+    convergence_curve,
+)
+from .deviation import DeviationModel, build_deviation_model
+from .multivariate import MultivariateDeviationModel, build_multivariate_model
+from .population import DEFAULT_BINS, ValueDistribution
+
+__all__ = [
+    "BERRY_ESSEEN_CONSTANT",
+    "BERRY_ESSEEN_SECONDARY",
+    "BenchmarkRow",
+    "BenchmarkTable",
+    "BerryEsseenBound",
+    "CrossoverResult",
+    "DEFAULT_BINS",
+    "DeviationModel",
+    "MultivariateDeviationModel",
+    "ValueDistribution",
+    "benchmark_mechanisms",
+    "berry_esseen_bound",
+    "build_deviation_model",
+    "build_multivariate_model",
+    "convergence_curve",
+    "crossover_supremum",
+]

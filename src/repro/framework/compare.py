@@ -1,0 +1,129 @@
+"""Pairwise mechanism comparison: where does the winner flip?
+
+The Section IV-C case study's punchline is that the "better" mechanism
+depends on the tolerated supremum ξ: Piecewise wins at small ξ
+(unbiased), Square wave at large ξ (concentrated). This module
+operationalizes that insight: given two per-dimension deviation models,
+:func:`crossover_supremum` locates the ξ at which their supremum
+probabilities cross, so a collector can decide directly from her
+tolerance without scanning a grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from .deviation import DeviationModel
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Outcome of a pairwise supremum-probability comparison.
+
+    Attributes
+    ----------
+    crossover:
+        The ξ where the two supremum probabilities are equal, or ``None``
+        when one model dominates over the whole searched range.
+    small_xi_winner / large_xi_winner:
+        Mechanism names winning below / above the crossover (equal when
+        there is no crossover).
+    """
+
+    crossover: Optional[float]
+    small_xi_winner: str
+    large_xi_winner: str
+
+
+def crossover_supremum(
+    model_a: DeviationModel,
+    model_b: DeviationModel,
+    xi_low: float = 1e-6,
+    xi_high: Optional[float] = None,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> CrossoverResult:
+    """Find the supremum ξ where two deviation models swap ranks.
+
+    The difference ``P_a(|dev| ≤ ξ) − P_b(|dev| ≤ ξ)`` is continuous in
+    ξ; the function brackets a sign change between ``xi_low`` and
+    ``xi_high`` (default: ten standard deviations of the wider model,
+    where both probabilities are ≈ 1) and bisects. If the sign never
+    changes, one model dominates the range and ``crossover`` is ``None``.
+    """
+    if xi_low <= 0:
+        raise DistributionError("xi_low must be positive, got %g" % xi_low)
+    if xi_high is None:
+        xi_high = 10.0 * max(
+            abs(model_a.delta) + model_a.sigma,
+            abs(model_b.delta) + model_b.sigma,
+        )
+    if xi_high <= xi_low:
+        raise DistributionError(
+            "xi_high (%g) must exceed xi_low (%g)" % (xi_high, xi_low)
+        )
+
+    def difference(xi: float) -> float:
+        return model_a.supremum_probability(xi) - model_b.supremum_probability(xi)
+
+    def winner(diff: float) -> str:
+        if diff > tolerance:
+            return model_a.mechanism_name
+        if diff < -tolerance:
+            return model_b.mechanism_name
+        return "tie"
+
+    def sign(diff: float) -> int:
+        return 0 if abs(diff) <= tolerance else (1 if diff > 0 else -1)
+
+    # Both probabilities saturate to 1 at large xi, so the endpoint signs
+    # alone can hide an interior flip; scan a log-spaced grid first.
+    grid = np.geomspace(xi_low, xi_high, num=256)
+    diffs = [difference(float(xi)) for xi in grid]
+    signs = [sign(d) for d in diffs]
+    nonzero = [s for s in signs if s != 0]
+
+    if not nonzero:
+        return CrossoverResult(crossover=None, small_xi_winner="tie",
+                               large_xi_winner="tie")
+
+    flip_index = None
+    previous_sign, previous_idx = None, None
+    for idx, s in enumerate(signs):
+        if s == 0:
+            continue
+        if previous_sign is not None and s != previous_sign:
+            flip_index = (previous_idx, idx)
+            break
+        previous_sign, previous_idx = s, idx
+
+    if flip_index is None:
+        dominant_name = winner(diffs[signs.index(nonzero[0])])
+        return CrossoverResult(
+            crossover=None,
+            small_xi_winner=dominant_name,
+            large_xi_winner=dominant_name,
+        )
+
+    low = float(grid[flip_index[0]])
+    high = float(grid[flip_index[1]])
+    diff_low = diffs[flip_index[0]]
+    for _ in range(max_iterations):
+        mid = 0.5 * (low + high)
+        diff_mid = difference(mid)
+        if abs(diff_mid) < tolerance or (high - low) < tolerance:
+            break
+        if diff_mid * diff_low > 0:
+            low, diff_low = mid, diff_mid
+        else:
+            high = mid
+    crossover = 0.5 * (low + high)
+    return CrossoverResult(
+        crossover=float(crossover),
+        small_xi_winner=winner(diffs[flip_index[0]]),
+        large_xi_winner=winner(diffs[flip_index[1]]),
+    )

@@ -1,0 +1,50 @@
+"""Categorical frequency oracles (Wang et al. 2017), HDR4ME-composable.
+
+Three oracles — :class:`GeneralizedRandomizedResponse` (small domains),
+:class:`OptimizedUnaryEncoding` and :class:`OptimizedLocalHashing`
+(large domains) — behind one :class:`FrequencyOracle` interface whose
+closed-form estimation variances feed directly into the paper's deviation
+models, making the oracles re-calibratable with
+:class:`repro.hdr4me.Recalibrator` exactly like the numeric mechanisms.
+"""
+
+from typing import List
+
+from .base import FrequencyOracle
+from .grr import GeneralizedRandomizedResponse
+from .olh import OlhReports, OptimizedLocalHashing
+from .oue import OptimizedUnaryEncoding
+
+_ORACLES = {
+    "grr": GeneralizedRandomizedResponse,
+    "oue": OptimizedUnaryEncoding,
+    "olh": OptimizedLocalHashing,
+}
+
+
+def get_oracle(name: str, epsilon: float, n_categories: int) -> FrequencyOracle:
+    """Instantiate a frequency oracle by short name."""
+    key = name.lower()
+    try:
+        cls = _ORACLES[key]
+    except KeyError:
+        raise KeyError(
+            "unknown oracle %r; available: %s" % (name, ", ".join(sorted(_ORACLES)))
+        ) from None
+    return cls(epsilon, n_categories)
+
+
+def available_oracles() -> List[str]:
+    """Sorted names accepted by :func:`get_oracle`."""
+    return sorted(_ORACLES)
+
+
+__all__ = [
+    "FrequencyOracle",
+    "GeneralizedRandomizedResponse",
+    "OlhReports",
+    "OptimizedLocalHashing",
+    "OptimizedUnaryEncoding",
+    "available_oracles",
+    "get_oracle",
+]

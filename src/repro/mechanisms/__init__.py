@@ -1,0 +1,59 @@
+"""LDP perturbation mechanisms: the substrate under the paper's framework.
+
+Six mechanisms are shipped, covering both classes the paper's framework
+distinguishes:
+
+* unbounded (``Bound(M) = 0``): :class:`LaplaceMechanism`,
+  :class:`StaircaseMechanism`;
+* bounded (``Bound(M) = 1``): :class:`DuchiMechanism`,
+  :class:`PiecewiseMechanism`, :class:`HybridMechanism`,
+  :class:`SquareWaveMechanism` (native ``[0, 1]``; use
+  :func:`repro.mechanisms.square_wave.standardized` or the registry's
+  ``"square_wave"`` for ``[−1, 1]`` data).
+"""
+
+from .base import (
+    AdditiveNoiseMechanism,
+    AffineTransformedMechanism,
+    Mechanism,
+    STANDARD_DOMAIN,
+    affine_mean_map,
+    monte_carlo_moments,
+    validate_epsilon,
+    validate_values,
+)
+from .duchi import DuchiMechanism
+from .hybrid import HybridMechanism
+from .laplace import LaplaceMechanism
+from .piecewise import PiecewiseMechanism
+from .scdf import SCDFMechanism
+from .registry import (
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
+from .square_wave import SquareWaveMechanism, standardized as standardized_square_wave
+from .staircase import StaircaseMechanism, optimal_gamma
+
+__all__ = [
+    "AdditiveNoiseMechanism",
+    "affine_mean_map",
+    "AffineTransformedMechanism",
+    "DuchiMechanism",
+    "HybridMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PiecewiseMechanism",
+    "SCDFMechanism",
+    "STANDARD_DOMAIN",
+    "SquareWaveMechanism",
+    "StaircaseMechanism",
+    "available_mechanisms",
+    "get_mechanism",
+    "monte_carlo_moments",
+    "optimal_gamma",
+    "register_mechanism",
+    "standardized_square_wave",
+    "validate_epsilon",
+    "validate_values",
+]

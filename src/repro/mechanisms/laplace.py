@@ -1,0 +1,79 @@
+"""Laplace mechanism (Dwork et al. 2006), the canonical unbounded mechanism.
+
+For a value ``t ∈ [−1, 1]`` and per-dimension budget ``ε`` the mechanism
+releases ``t* = t + Lap(2/ε)``: the sensitivity of a single dimension is the
+domain width 2, so a Laplace scale of ``λ = 2/ε`` guarantees ε-LDP. The
+noise has zero mean and variance ``2λ²`` so aggregation is unbiased and
+Lemma 2 of the paper gives the deviation model directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+from .base import AdditiveNoiseMechanism, validate_epsilon
+
+
+class LaplaceMechanism(AdditiveNoiseMechanism):
+    """ε-LDP Laplace perturbation for values in ``[−1, 1]``.
+
+    Attributes
+    ----------
+    sensitivity:
+        The ℓ1 sensitivity of one dimension; 2 for the standard domain.
+    """
+
+    name = "laplace"
+    bounded = False
+
+    def __init__(self, sensitivity: float = 2.0) -> None:
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive, got %g" % sensitivity)
+        self.sensitivity = float(sensitivity)
+
+    def scale(self, epsilon: float) -> float:
+        """Return the Laplace scale ``λ = sensitivity / ε``."""
+        eps = validate_epsilon(epsilon)
+        return self.sensitivity / eps
+
+    def sample_noise(
+        self, size: Tuple[int, ...], epsilon: float, rng: RngLike = None
+    ) -> np.ndarray:
+        gen = ensure_rng(rng)
+        return gen.laplace(loc=0.0, scale=self.scale(epsilon), size=size)
+
+    def noise_variance(self, epsilon: float) -> float:
+        """``Var[Lap(λ)] = 2λ²``."""
+        lam = self.scale(epsilon)
+        return 2.0 * lam * lam
+
+    def abs_third_central_moment(
+        self,
+        values: np.ndarray,
+        epsilon: float,
+        rng: RngLike = None,
+        samples: int = 200_000,
+    ) -> np.ndarray:
+        """Closed form ``ρ = E|Lap(λ)|³ = 6λ³``.
+
+        Note: the paper's worked example below Theorem 2 evaluates this
+        moment as ``3λ³``; the correct third absolute moment of a Laplace
+        variate is ``Γ(4)·λ³ = 6λ³``. We use the correct value and report
+        both figures in EXPERIMENTS.md.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        lam = self.scale(epsilon)
+        return np.full(arr.shape, 6.0 * lam**3)
+
+    def pdf(self, noise: np.ndarray, epsilon: float) -> np.ndarray:
+        """Density of the additive noise at ``noise``."""
+        lam = self.scale(epsilon)
+        x = np.asarray(noise, dtype=np.float64)
+        return np.exp(-np.abs(x) / lam) / (2.0 * lam)
+
+    def output_support(self, epsilon: float) -> Tuple[float, float]:
+        return (-math.inf, math.inf)

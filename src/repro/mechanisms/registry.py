@@ -1,0 +1,80 @@
+"""Name-based registry of the LDP mechanisms shipped with the library.
+
+Experiment configurations, the CLI, and the benchmark harness all refer to
+mechanisms by short string names; this module is the single place those
+names are resolved. Third-party mechanisms can be registered at runtime
+with :func:`register_mechanism` and immediately participate in every
+framework computation and experiment driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Mechanism
+from .duchi import DuchiMechanism
+from .hybrid import HybridMechanism
+from .laplace import LaplaceMechanism
+from .piecewise import PiecewiseMechanism
+from .scdf import SCDFMechanism
+from .square_wave import SquareWaveMechanism, standardized
+from .staircase import StaircaseMechanism
+
+MechanismFactory = Callable[[], Mechanism]
+
+_REGISTRY: Dict[str, MechanismFactory] = {}
+
+
+def register_mechanism(name: str, factory: MechanismFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (lower-case by convention).
+    factory:
+        Zero-argument callable returning a fresh :class:`Mechanism`.
+    overwrite:
+        Allow replacing an existing registration; off by default to catch
+        accidental collisions.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError("mechanism %r is already registered" % name)
+    _REGISTRY[key] = factory
+
+
+def get_mechanism(name: str) -> Mechanism:
+    """Instantiate the mechanism registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names when ``name`` is unknown.
+    """
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            "unknown mechanism %r; available: %s"
+            % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
+    return factory()
+
+
+def available_mechanisms() -> List[str]:
+    """Return the sorted list of registered mechanism names."""
+    return sorted(_REGISTRY)
+
+
+register_mechanism("laplace", LaplaceMechanism)
+register_mechanism("staircase", StaircaseMechanism)
+register_mechanism("scdf", SCDFMechanism)
+register_mechanism("duchi", DuchiMechanism)
+register_mechanism("piecewise", PiecewiseMechanism)
+register_mechanism("hybrid", HybridMechanism)
+# The registry exposes the [−1, 1]-standardized square wave; the native
+# unit-interval variant is available as "square_wave_unit".
+register_mechanism("square_wave", standardized)
+register_mechanism("square_wave_unit", SquareWaveMechanism)

@@ -1,0 +1,150 @@
+"""Staircase mechanism (Geng et al. 2015), an optimized unbounded mechanism.
+
+The staircase distribution replaces the Laplace density's exponential decay
+with a geometric mixture of uniform "steps" of width ``Δ`` (the
+sensitivity). With the variance-optimal step-split parameter
+``γ* = 1 / (1 + e^{ε/2})`` the mechanism strictly dominates Laplace in
+noise variance for every ε while still satisfying pure ε-DP/LDP. The paper
+cites it as the second member of the "unbounded" class alongside Laplace
+and SCDF.
+
+Density (for noise ``x``, writing ``b = e^{−ε}``)::
+
+    f(x) = a(γ) · b^k   for |x| ∈ [(k − 1 + γ)Δ, (k + γ)Δ),  k ≥ 1
+    f(x) = a(γ)         for |x| ∈ [0, γΔ)
+    a(γ) = (1 − b) / (2Δ (γ + (1 − γ) b))
+
+Sampling follows Geng et al.'s constructive algorithm: a sign, a geometric
+step index, a Bernoulli choice between the two sub-intervals of a step, and
+a uniform offset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+from .base import AdditiveNoiseMechanism, validate_epsilon
+
+
+def optimal_gamma(epsilon: float) -> float:
+    """Variance-optimal step split ``γ* = 1 / (1 + e^{ε/2})``."""
+    eps = validate_epsilon(epsilon)
+    return 1.0 / (1.0 + math.exp(eps / 2.0))
+
+
+class StaircaseMechanism(AdditiveNoiseMechanism):
+    """ε-LDP staircase-noise perturbation for values in ``[−1, 1]``.
+
+    Parameters
+    ----------
+    sensitivity:
+        Width ``Δ`` of each step; 2 for the standard domain.
+    gamma:
+        Step split in ``(0, 1)``; ``None`` (default) selects the
+        variance-optimal ``γ*(ε)`` at perturbation time.
+    """
+
+    name = "staircase"
+    bounded = False
+
+    def __init__(self, sensitivity: float = 2.0, gamma: Optional[float] = None) -> None:
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive, got %g" % sensitivity)
+        if gamma is not None and not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must lie in (0, 1), got %g" % gamma)
+        self.sensitivity = float(sensitivity)
+        self.gamma = gamma
+
+    def _gamma(self, epsilon: float) -> float:
+        return self.gamma if self.gamma is not None else optimal_gamma(epsilon)
+
+    def sample_noise(
+        self, size: Tuple[int, ...], epsilon: float, rng: RngLike = None
+    ) -> np.ndarray:
+        eps = validate_epsilon(epsilon)
+        gen = ensure_rng(rng)
+        gamma = self._gamma(eps)
+        delta = self.sensitivity
+        b = math.exp(-eps)
+
+        sign = gen.choice((-1.0, 1.0), size=size)
+        # Geometric number of whole steps skipped: P(G = k) = (1 − b) b^k.
+        geometric = gen.geometric(p=1.0 - b, size=size) - 1
+        uniform = gen.random(size=size)
+        # Within a step, land in the left (width γΔ) or right ((1−γ)Δ)
+        # sub-interval with odds γ : (1−γ)b.
+        left = gen.random(size=size) < gamma / (gamma + (1.0 - gamma) * b)
+        offset = np.where(
+            left,
+            gamma * uniform,
+            gamma + (1.0 - gamma) * uniform,
+        )
+        return sign * (geometric + offset) * delta
+
+    def noise_variance(self, epsilon: float) -> float:
+        """Closed-form ``E[X²]`` of staircase noise (zero mean by symmetry).
+
+        Derived by summing the per-step second moments of the geometric
+        mixture; cross-validated against Monte-Carlo moments in the tests.
+        """
+        eps = validate_epsilon(epsilon)
+        gamma = self._gamma(eps)
+        delta = self.sensitivity
+        b = math.exp(-eps)
+        s0 = b / (1.0 - b)
+        s1 = b / (1.0 - b) ** 2
+        s2 = b * (1.0 + b) / (1.0 - b) ** 3
+        amplitude = (1.0 - b) / (2.0 * delta * (gamma + (1.0 - gamma) * b))
+        bracket = (
+            gamma**3
+            + 3.0 * s2
+            + (6.0 * gamma - 3.0) * s1
+            + (3.0 * gamma**2 - 3.0 * gamma + 1.0) * s0
+        )
+        return (2.0 * amplitude * delta**3 / 3.0) * bracket
+
+    def abs_third_central_moment(
+        self,
+        values: np.ndarray,
+        epsilon: float,
+        rng: RngLike = None,
+        samples: int = 200_000,
+    ) -> np.ndarray:
+        """Closed-form ``E|X|³`` via the same per-step geometric sums."""
+        eps = validate_epsilon(epsilon)
+        arr = np.asarray(values, dtype=np.float64)
+        gamma = self._gamma(eps)
+        delta = self.sensitivity
+        b = math.exp(-eps)
+        s0 = b / (1.0 - b)
+        s1 = b / (1.0 - b) ** 2
+        s2 = b * (1.0 + b) / (1.0 - b) ** 3
+        s3 = b * (1.0 + 4.0 * b + b * b) / (1.0 - b) ** 4
+        amplitude = (1.0 - b) / (2.0 * delta * (gamma + (1.0 - gamma) * b))
+        # Σ b^k [(k+γ)⁴ − (k−1+γ)⁴] expanded in powers of k.
+        g = gamma
+        bracket = (
+            g**4
+            + 4.0 * s3
+            + (12.0 * g - 6.0) * s2
+            + (12.0 * g**2 - 12.0 * g + 4.0) * s1
+            + (4.0 * g**3 - 6.0 * g**2 + 4.0 * g - 1.0) * s0
+        )
+        rho = (2.0 * amplitude * delta**4 / 4.0) * bracket
+        return np.full(arr.shape, rho)
+
+    def pdf(self, noise: np.ndarray, epsilon: float) -> np.ndarray:
+        """Density of the staircase noise at ``noise``."""
+        eps = validate_epsilon(epsilon)
+        gamma = self._gamma(eps)
+        delta = self.sensitivity
+        b = math.exp(-eps)
+        amplitude = (1.0 - b) / (2.0 * delta * (gamma + (1.0 - gamma) * b))
+        x = np.abs(np.asarray(noise, dtype=np.float64)) / delta
+        # Number of completed steps at |x|: 0 on [0, γ), k on [k−1+γ, k+γ).
+        steps = np.ceil(x - gamma).clip(min=0.0)
+        return amplitude * b**steps

@@ -1,0 +1,152 @@
+"""Collector-side of the LDP protocol: aggregation and calibration.
+
+The :class:`Aggregator` implements the paper's framework steps 2–3
+(Calibration and Aggregation): it accumulates perturbed reports per
+dimension, subtracts any *deterministic* mechanism bias (``δ_ij`` of the
+framework — zero for every unbiased mechanism; data-dependent biases such
+as the square wave's cannot be removed pointwise and are deliberately left
+in, exactly as the paper's deviation models assume), and averages into the
+estimated mean ``θ̂``.
+
+Aggregation is streaming — reports can arrive one at a time or in bulk
+matrices — so the memory footprint is ``O(d)`` regardless of ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import AggregationError, DimensionError
+from ..mechanisms.base import Mechanism
+from .budget import BudgetPlan
+from .client import Report
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """The collector's output for one collection round.
+
+    Attributes
+    ----------
+    theta_hat:
+        Estimated mean per dimension (calibrated where possible).
+    report_counts:
+        Number of reports received per dimension (``r_j``).
+    epsilon_per_dimension:
+        Budget each report spent per dimension.
+    """
+
+    theta_hat: np.ndarray
+    report_counts: np.ndarray
+    epsilon_per_dimension: float
+
+    @property
+    def dimensions(self) -> int:
+        """Number of aggregated dimensions ``d``."""
+        return int(self.theta_hat.size)
+
+    @property
+    def min_reports(self) -> int:
+        """Smallest per-dimension report count (framework ``r``)."""
+        return int(self.report_counts.min())
+
+
+class Aggregator:
+    """Streaming per-dimension aggregation with deterministic calibration.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism the reports were perturbed with (needed only for its
+        deterministic bias; the raw values are never re-perturbed).
+    plan:
+        The shared budget plan.
+    """
+
+    def __init__(self, mechanism: Mechanism, plan: BudgetPlan) -> None:
+        self.mechanism = mechanism
+        self.plan = plan
+        self._sums = np.zeros(plan.dimensions, dtype=np.float64)
+        self._counts = np.zeros(plan.dimensions, dtype=np.int64)
+
+    # ------------------------------------------------------------- ingestion
+
+    def add_report(self, report: Report) -> None:
+        """Ingest a single user's :class:`Report`."""
+        dims = report.dimensions
+        if dims.size and (dims.min() < 0 or dims.max() >= self.plan.dimensions):
+            raise DimensionError(
+                "report touches dimension outside [0, %d)" % self.plan.dimensions
+            )
+        np.add.at(self._sums, dims, report.values)
+        np.add.at(self._counts, dims, 1)
+
+    def add_matrix(
+        self, perturbed: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Ingest a dense batch of perturbed tuples.
+
+        Parameters
+        ----------
+        perturbed:
+            ``(batch, d)`` matrix of perturbed values.
+        mask:
+            Optional boolean ``(batch, d)`` matrix; ``True`` marks entries
+            actually reported (``m < d`` sampling). ``None`` means every
+            entry was reported (``m = d``).
+        """
+        block = np.asarray(perturbed, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.plan.dimensions:
+            raise DimensionError(
+                "expected (batch, %d) matrix, got %s"
+                % (self.plan.dimensions, block.shape)
+            )
+        if mask is None:
+            self._sums += block.sum(axis=0)
+            self._counts += block.shape[0]
+            return
+        mask_arr = np.asarray(mask, dtype=bool)
+        if mask_arr.shape != block.shape:
+            raise DimensionError("mask shape %s != data shape %s"
+                                 % (mask_arr.shape, block.shape))
+        self._sums += np.where(mask_arr, block, 0.0).sum(axis=0)
+        self._counts += mask_arr.sum(axis=0)
+
+    # ------------------------------------------------------------ estimation
+
+    @property
+    def report_counts(self) -> np.ndarray:
+        """Copy of the per-dimension report counts so far."""
+        return self._counts.copy()
+
+    def aggregate(self) -> AggregationResult:
+        """Average (and calibrate) the accumulated reports into ``θ̂``.
+
+        Raises
+        ------
+        AggregationError
+            If any dimension received no reports at all.
+        """
+        if np.any(self._counts == 0):
+            missing = int(np.sum(self._counts == 0))
+            raise AggregationError(
+                "%d dimension(s) received no reports; increase n or m" % missing
+            )
+        theta_hat = self._sums / self._counts
+        eps = self.plan.epsilon_per_dimension
+        bias = self.mechanism.deterministic_bias(eps)
+        if bias:
+            theta_hat = theta_hat - bias
+        return AggregationResult(
+            theta_hat=theta_hat,
+            report_counts=self._counts.copy(),
+            epsilon_per_dimension=eps,
+        )
+
+    def reset(self) -> None:
+        """Discard all accumulated reports (start a new round)."""
+        self._sums.fill(0.0)
+        self._counts.fill(0)

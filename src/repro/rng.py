@@ -1,0 +1,60 @@
+"""Random-number plumbing shared by the whole library.
+
+Every stochastic component in :mod:`repro` accepts an optional ``rng``
+argument which may be ``None`` (use a fresh nondeterministic generator), an
+integer seed, or an existing :class:`numpy.random.Generator`. This module
+provides the single normalization helper so behaviour is uniform everywhere,
+plus a utility for deriving independent child generators for parallel or
+repeated experiment runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted ``rng`` spec.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    return np.random.default_rng(rng)
+
+
+def spawn_children(rng: RngLike, count: int) -> Iterator[np.random.Generator]:
+    """Yield ``count`` statistically independent child generators.
+
+    Used by experiment drivers that repeat a simulation many times: each
+    repetition gets its own stream so repetitions are independent yet the
+    whole sweep stays reproducible from one seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative, got %d" % count)
+    parent = ensure_rng(rng)
+    for _ in range(count):
+        yield np.random.default_rng(parent.integers(0, 2**63 - 1))
+
+
+def derive_seed(rng: RngLike, salt: Optional[int] = None) -> int:
+    """Derive a fresh integer seed from ``rng`` (optionally salted).
+
+    Useful when a deterministic sub-seed must be stored in a result record
+    so a single experiment repetition can be replayed later.
+    """
+    parent = ensure_rng(rng)
+    seed = int(parent.integers(0, 2**63 - 1))
+    if salt is not None:
+        seed ^= (salt * 0x9E3779B97F4A7C15) & (2**63 - 1)
+    return seed

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import available_mechanisms, get_mechanism
+
+#: Mechanisms operating on the standard [-1, 1] domain (kept in sync with
+#: tests/testutil.py, which test modules import directly).
+STANDARD_MECHANISMS = ("laplace", "staircase", "duchi", "piecewise", "hybrid",
+                       "square_wave")
+
+#: All registered mechanisms (includes the unit-domain square wave).
+ALL_MECHANISMS = tuple(sorted(available_mechanisms()))
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(20220119)
+
+
+@pytest.fixture(params=ALL_MECHANISMS)
+def any_mechanism(request):
+    """Parametrized fixture yielding every registered mechanism."""
+    return get_mechanism(request.param)
+
+
+@pytest.fixture(params=STANDARD_MECHANISMS)
+def standard_mechanism(request):
+    """Parametrized fixture over mechanisms on the [-1, 1] domain."""
+    return get_mechanism(request.param)

@@ -1,0 +1,121 @@
+"""Tests for the utility metrics and density diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import (
+    UtilityReport,
+    compare_estimates,
+    empirical_pdf,
+    gaussian_fit,
+    l2_deviation,
+    max_abs_deviation,
+    mse,
+    pdf_overlay,
+    true_mean,
+)
+from repro.exceptions import DimensionError
+from repro.framework import DeviationModel
+
+VECTORS = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=16),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestMetrics:
+    def test_mse_formula(self):
+        assert mse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_l2_formula(self):
+        assert l2_deviation([3.0, 4.0], [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_mse_equals_l2_squared_over_d(self):
+        # The paper's Eq. 2/3 link.
+        est, tru = np.array([0.1, -0.4, 0.9]), np.array([0.0, 0.0, 1.0])
+        assert mse(est, tru) == pytest.approx(l2_deviation(est, tru) ** 2 / 3)
+
+    def test_max_abs(self):
+        assert max_abs_deviation([1.0, -5.0], [0.0, 0.0]) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            mse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            mse([], [])
+
+    def test_true_mean(self):
+        data = np.array([[0.0, 1.0], [1.0, 1.0]])
+        np.testing.assert_allclose(true_mean(data), [0.5, 1.0])
+
+    def test_true_mean_needs_matrix(self):
+        with pytest.raises(DimensionError):
+            true_mean(np.zeros(4))
+
+    def test_utility_report(self):
+        report = UtilityReport.score([1.0, 0.0], [0.0, 0.0])
+        assert report.mse == pytest.approx(0.5)
+        assert report.l2 == pytest.approx(1.0)
+        assert report.max_abs == pytest.approx(1.0)
+
+    def test_compare_estimates(self):
+        reports = compare_estimates(
+            {"a": np.array([0.0]), "b": np.array([1.0])}, np.array([0.0])
+        )
+        assert reports["a"].mse == 0.0
+        assert reports["b"].mse == 1.0
+
+    @given(est=VECTORS)
+    @settings(max_examples=40, deadline=None)
+    def test_property_metrics_nonnegative_and_zero_iff_equal(self, est):
+        assert mse(est, est) == 0.0
+        assert l2_deviation(est, est) == 0.0
+        shifted = est + 1.0
+        assert mse(shifted, est) > 0.0
+
+
+class TestDensity:
+    def test_empirical_pdf_integrates_to_one(self, rng):
+        sample = rng.normal(size=20_000)
+        density = empirical_pdf(sample, bins=50)
+        widths = np.diff(density.centers).mean()
+        assert density.density.sum() * widths == pytest.approx(1.0, abs=0.05)
+
+    def test_empirical_pdf_needs_data(self):
+        with pytest.raises(DimensionError):
+            empirical_pdf(np.array([1.0]))
+
+    def test_evaluate_outside_range_is_zero(self, rng):
+        density = empirical_pdf(rng.normal(size=1000))
+        assert density.evaluate(np.array([100.0]))[0] == 0.0
+
+    def test_gaussian_fit_on_matching_sample(self, rng):
+        model = DeviationModel(delta=0.2, sigma=1.5, reports=10, epsilon=1.0)
+        sample = model.sample(50_000, rng)
+        fit = gaussian_fit(sample, model)
+        assert fit.mean_error < 0.03
+        assert 0.97 < fit.std_ratio < 1.03
+        assert fit.ks_pvalue > 0.01
+
+    def test_gaussian_fit_detects_mismatch(self, rng):
+        model = DeviationModel(delta=0.0, sigma=1.0, reports=10, epsilon=1.0)
+        sample = rng.normal(5.0, 1.0, size=5_000)  # wrong mean
+        fit = gaussian_fit(sample, model)
+        assert fit.ks_pvalue < 1e-6
+        assert fit.mean_error > 4.0
+
+    def test_pdf_overlay_alignment(self, rng):
+        model = DeviationModel(delta=0.0, sigma=1.0, reports=10, epsilon=1.0)
+        sample = model.sample(20_000, rng)
+        density, predicted = pdf_overlay(sample, model, bins=30)
+        assert density.centers.shape == predicted.shape
+        # Empirical and model pdf agree where the mass is.
+        mask = predicted > 0.05
+        assert np.mean(np.abs(density.density[mask] - predicted[mask])) < 0.05

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "piecewise" in out
+        assert "533.2" in out
+
+    def test_requires_artefact(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_theorem2_without_quick(self, capsys):
+        assert main(["theorem2"]) == 0
+        out = capsys.readouterr().out
+        assert "worked example" in out
+        assert "bound" in out
+
+    def test_fig4_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--dataset", "imagenet"])
+
+    def test_seed_accepted(self, capsys):
+        assert main(["table2", "--seed", "7"]) == 0
+
+    def test_prediction_quick(self, capsys):
+        assert main(["prediction", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert "piecewise" in out

@@ -1,0 +1,171 @@
+"""Tests for the dataset generators and normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ColumnScaler,
+    available_datasets,
+    cov19_like,
+    discretized_uniform_dataset,
+    fit_scaler,
+    gaussian_dataset,
+    load_dataset,
+    mean_absolute_correlation,
+    normalize,
+    poisson_dataset,
+    resample_dimensions,
+    uniform_dataset,
+)
+from repro.exceptions import DimensionError, DomainError
+
+
+class TestNormalize:
+    def test_range(self, rng):
+        data = rng.normal(size=(100, 5)) * 10 + 3
+        out = normalize(data)
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_roundtrip(self, rng):
+        data = rng.normal(size=(50, 3))
+        scaler = fit_scaler(data)
+        back = scaler.inverse(scaler.transform(data))
+        np.testing.assert_allclose(back, data, atol=1e-12)
+
+    def test_constant_column_rejected(self):
+        data = np.ones((10, 2))
+        with pytest.raises(DomainError):
+            fit_scaler(data)
+
+    def test_degenerate_target_rejected(self, rng):
+        with pytest.raises(DomainError):
+            fit_scaler(rng.normal(size=(10, 2)), target=(1.0, 1.0))
+
+    def test_custom_target(self, rng):
+        out = normalize(rng.normal(size=(40, 2)), target=(0.0, 1.0))
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(DomainError):
+            normalize(np.zeros(10))
+
+
+class TestGaussian:
+    def test_shape_and_domain(self):
+        data = gaussian_dataset(500, 40, rng=0)
+        assert data.shape == (500, 40)
+        assert data.min() >= -1.0 and data.max() <= 1.0
+
+    def test_sparse_signal_structure(self):
+        data = gaussian_dataset(4000, 100, rng=0)
+        means = data.mean(axis=0)
+        high = np.sum(means > 0.5)
+        assert high == 10  # 10% of 100 dimensions at mu = 0.9.
+        assert np.sum(np.abs(means) < 0.2) == 90
+
+    def test_custom_fraction(self):
+        data = gaussian_dataset(2000, 10, high_fraction=0.5, rng=0)
+        assert np.sum(data.mean(axis=0) > 0.5) == 5
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DimensionError):
+            gaussian_dataset(10, 10, high_fraction=1.5)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            gaussian_dataset(50, 5, rng=1), gaussian_dataset(50, 5, rng=1)
+        )
+
+
+class TestPoisson:
+    def test_shape_and_domain(self):
+        data = poisson_dataset(300, 20, rng=0)
+        assert data.shape == (300, 20)
+        assert data.min() == pytest.approx(-1.0)
+        assert data.max() == pytest.approx(1.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(DimensionError):
+            poisson_dataset(10, 10, min_rate=5, max_rate=1)
+
+
+class TestUniform:
+    def test_domain(self):
+        data = uniform_dataset(1000, 10, rng=0)
+        assert data.min() >= -1.0 and data.max() <= 1.0
+        assert abs(data.mean()) < 0.05
+
+    def test_discretized_levels(self):
+        data = discretized_uniform_dataset(500, 4, levels=10, rng=0)
+        values = np.unique(data)
+        np.testing.assert_allclose(values, np.linspace(0.1, 1.0, 10), atol=1e-12)
+
+    def test_invalid_shape(self):
+        with pytest.raises(DimensionError):
+            uniform_dataset(0, 10)
+
+
+class TestCov19Like:
+    def test_shape_and_domain(self):
+        data = cov19_like(400, 30, rng=0)
+        assert data.shape == (400, 30)
+        assert data.min() == pytest.approx(-1.0)
+        assert data.max() == pytest.approx(1.0)
+
+    def test_high_correlation_vs_uniform(self):
+        correlated = cov19_like(2000, 40, n_factors=4, rng=0)
+        independent = uniform_dataset(2000, 40, rng=0)
+        assert mean_absolute_correlation(correlated, rng=0) > 0.2
+        assert mean_absolute_correlation(independent, rng=0) < 0.1
+
+    def test_fewer_factors_more_correlation(self):
+        tight = cov19_like(2000, 40, n_factors=2, rng=0)
+        loose = cov19_like(2000, 40, n_factors=32, rng=0)
+        assert mean_absolute_correlation(tight, rng=0) > mean_absolute_correlation(
+            loose, rng=0
+        )
+
+    def test_resample_subset(self):
+        base = cov19_like(100, 50, rng=0)
+        small = resample_dimensions(base, 20, rng=0)
+        assert small.shape == (100, 20)
+
+    def test_resample_with_replacement_beyond_base(self):
+        base = cov19_like(100, 50, rng=0)
+        big = resample_dimensions(base, 120, rng=0)
+        assert big.shape == (100, 120)
+
+    def test_resample_validation(self):
+        with pytest.raises(DimensionError):
+            resample_dimensions(np.zeros(5), 2)
+        with pytest.raises(DimensionError):
+            resample_dimensions(np.zeros((5, 5)), 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DimensionError):
+            cov19_like(10, 10, n_factors=0)
+        with pytest.raises(DimensionError):
+            cov19_like(10, 10, noise=-1.0)
+
+
+class TestLoader:
+    def test_names(self):
+        names = available_datasets()
+        for expected in ("gaussian", "poisson", "uniform", "cov19"):
+            assert expected in names
+
+    def test_shape_override(self):
+        data = load_dataset("gaussian", users=100, dimensions=7, rng=0)
+        assert data.shape == (100, 7)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="gaussian"):
+            load_dataset("imagenet")
+
+    def test_case_insensitive(self):
+        data = load_dataset("UNIFORM", users=10, dimensions=2, rng=0)
+        assert data.shape == (10, 2)

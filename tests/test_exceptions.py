@@ -1,0 +1,76 @@
+"""Tests for the exception hierarchy and its use across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregationError,
+    CalibrationError,
+    DimensionError,
+    DistributionError,
+    DomainError,
+    PrivacyBudgetError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AggregationError,
+            CalibrationError,
+            DimensionError,
+            DistributionError,
+            DomainError,
+            PrivacyBudgetError,
+        ],
+    )
+    def test_subclass_of_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_valueerror(self):
+        for exc in (PrivacyBudgetError, DomainError, DimensionError,
+                    CalibrationError, DistributionError):
+            assert issubclass(exc, ValueError)
+
+    def test_aggregation_is_runtime_error(self):
+        assert issubclass(AggregationError, RuntimeError)
+
+
+class TestSingleCatchAll:
+    """A caller can guard any library call with one except clause."""
+
+    def test_budget_error_caught_as_repro_error(self):
+        from repro.mechanisms import LaplaceMechanism
+
+        with pytest.raises(ReproError):
+            LaplaceMechanism().perturb(np.zeros(1), -1.0)
+
+    def test_domain_error_caught_as_repro_error(self):
+        from repro.mechanisms import PiecewiseMechanism
+
+        with pytest.raises(ReproError):
+            PiecewiseMechanism().perturb(np.array([2.0]), 1.0)
+
+    def test_distribution_error_caught_as_repro_error(self):
+        from repro.framework import ValueDistribution
+
+        with pytest.raises(ReproError):
+            ValueDistribution(np.array([1.0]), np.array([0.5]))
+
+    def test_calibration_error_caught_as_repro_error(self):
+        from repro.hdr4me import Recalibrator
+
+        with pytest.raises(ReproError):
+            Recalibrator(norm="l7")
+
+    def test_aggregation_error_caught_as_repro_error(self):
+        from repro.mechanisms import LaplaceMechanism
+        from repro.protocol import Aggregator, BudgetPlan
+
+        plan = BudgetPlan(epsilon=1.0, dimensions=2, sampled_dimensions=1)
+        with pytest.raises(ReproError):
+            Aggregator(LaplaceMechanism(), plan).aggregate()

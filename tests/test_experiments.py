@@ -1,0 +1,182 @@
+"""Tests for the experiment drivers (tiny scale — shape, not benchmarks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.experiments import (
+    PAPER_TABLE2,
+    SeriesRow,
+    default_epsilons,
+    format_series,
+    run_case_study,
+    run_confidence_ablation,
+    run_convergence,
+    run_dimensionality_sweep,
+    run_fig2,
+    run_fig3,
+    run_frequency_experiment,
+    run_harmful_regime,
+    run_mse_sweep,
+    run_solver_equivalence,
+    simulate_dimension_deviations,
+    worked_example,
+    zipf_categories,
+)
+from repro.mechanisms import LaplaceMechanism
+
+
+class TestBase:
+    def test_simulate_dimension_deviations_shape(self, rng):
+        deviations = simulate_dimension_deviations(
+            LaplaceMechanism(), rng.uniform(-1, 1, 200), 1.0, 1.0, 25, rng
+        )
+        assert deviations.shape == (25,)
+
+    def test_simulate_validates(self, rng):
+        with pytest.raises(DimensionError):
+            simulate_dimension_deviations(
+                LaplaceMechanism(), np.zeros(10), 1.0, 0.0, 5, rng
+            )
+        with pytest.raises(DimensionError):
+            simulate_dimension_deviations(
+                LaplaceMechanism(), np.zeros(10), 1.0, 0.5, 0, rng
+            )
+        with pytest.raises(DimensionError):
+            simulate_dimension_deviations(
+                LaplaceMechanism(), np.empty(0), 1.0, 0.5, 5, rng
+            )
+
+    def test_format_series(self):
+        rows = [SeriesRow(x=1.0, values={"a": 2.0})]
+        text = format_series("t", "x", ("a",), rows)
+        assert "# t" in text
+        assert "x\ta" in text
+        assert "1\t2" in text
+
+
+class TestCaseStudy:
+    def test_paper_reference_constants(self):
+        assert set(PAPER_TABLE2) == {"piecewise", "square_wave_unit"}
+
+    def test_result_format_mentions_models(self):
+        text = run_case_study().format()
+        assert "533.210" in text
+        assert "piecewise" in text
+
+    def test_custom_suprema(self):
+        result = run_case_study(suprema=(0.5,))
+        assert result.table.suprema.tolist() == [0.5]
+
+
+class TestCltValidation:
+    def test_fig2_tiny(self):
+        results = run_fig2(
+            users=3000, dimensions=100, sampled_dimensions=10,
+            epsilon=1.0, repeats=40, mechanisms=("laplace",), rng=0,
+        )
+        assert len(results) == 1
+        assert results[0].deviations.shape == (40,)
+        assert "clt_pdf" in results[0].format()
+
+    def test_fig3_tiny(self):
+        results = run_fig3(reports=500, repeats=40, rng=0)
+        assert [r.mechanism for r in results] == ["piecewise", "square_wave_unit"]
+
+
+class TestMseSweep:
+    def test_default_epsilons(self):
+        assert default_epsilons("laplace") == (0.1, 0.2, 0.4, 0.8, 1.6, 3.2)
+        assert default_epsilons("square_wave")[1] == 10.0
+
+    def test_tiny_sweep_series(self):
+        result = run_mse_sweep(
+            dataset="gaussian", mechanism="laplace",
+            epsilons=(0.2, 1.0), users=2000, dimensions=20, repeats=1, rng=0,
+        )
+        assert len(result.rows) == 2
+        assert result.series("baseline").shape == (2,)
+        assert result.series("baseline")[1] < result.series("baseline")[0]
+        assert "Fig.4" in result.format()
+
+    def test_bounded_mechanism_sweep(self):
+        result = run_mse_sweep(
+            dataset="uniform", mechanism="piecewise",
+            epsilons=(0.5,), users=1500, dimensions=30, repeats=1, rng=0,
+        )
+        assert result.rows[0].values["l1"] <= result.rows[0].values["baseline"]
+
+
+class TestDimensionality:
+    def test_tiny_sweep(self):
+        result = run_dimensionality_sweep(
+            mechanism="laplace", dimension_grid=(10, 40), epsilon=0.8,
+            users=2000, base_dimensions=50, repeats=1, rng=0,
+        )
+        assert [row.x for row in result.rows] == [10.0, 40.0]
+        baseline = [row.values["baseline"] for row in result.rows]
+        assert baseline[1] > baseline[0]
+
+
+class TestConvergence:
+    def test_worked_example_numbers(self):
+        example = worked_example()
+        assert example.paper_bound == pytest.approx(0.0157, abs=2e-4)
+        assert example.correct_bound == pytest.approx(0.0269, abs=3e-4)
+        assert "0.0157" in example.format() or "paper" in example.format()
+
+    def test_sweep_without_empirical(self):
+        result = run_convergence(report_counts=(100, 400), rng=0)
+        assert result.labels == ("bound",)
+        assert result.rows[1].values["bound"] == pytest.approx(
+            result.rows[0].values["bound"] / 2.0
+        )
+
+    def test_sweep_with_empirical(self):
+        result = run_convergence(
+            report_counts=(200,), empirical_repeats=50, rng=0
+        )
+        assert "empirical_ks" in result.rows[0].values
+
+
+class TestAblations:
+    def test_confidence_ablation_tiny(self):
+        result = run_confidence_ablation(
+            users=1500, dimensions=30, confidences=(0.9, 0.9973), rng=0
+        )
+        assert len(result.rows) == 2
+        assert result.baseline_mse > 0
+
+    def test_harmful_regime_tiny(self):
+        result = run_harmful_regime(
+            dimension_grid=(5, 100),
+            epsilon_grid=(0.5, 10.0),
+            users=2000,
+            rng=0,
+        )
+        assert result.ratios.shape == (2, 2)
+        # Helps at high d / small eps; hurts (>=1x) at low d / large eps.
+        assert result.ratios[1, 0] < 1.0
+        assert result.ratios[0, 1] > 0.9
+
+    def test_solver_equivalence(self):
+        result = run_solver_equivalence(dimensions=64, rng=0)
+        assert result.max_divergence_l1 < 1e-9
+        assert result.max_divergence_l2 < 1e-9
+
+
+class TestFrequencyExperiment:
+    def test_zipf_profile(self):
+        labels = zipf_categories(20_000, 8, rng=0)
+        freq = np.bincount(labels, minlength=8) / 20_000
+        assert freq[0] > freq[3] > freq[7]
+
+    def test_tiny_run(self):
+        result = run_frequency_experiment(
+            mechanism="laplace", epsilons=(1.0, 4.0), users=3000,
+            n_categories=8, repeats=1, rng=0,
+        )
+        baseline = [row.values["baseline"] for row in result.rows]
+        assert baseline[1] < baseline[0]

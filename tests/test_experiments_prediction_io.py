@@ -1,0 +1,118 @@
+"""Tests for the MSE-prediction driver and series serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SeriesRow,
+    SerializationError,
+    read_series_csv,
+    read_series_json,
+    run_mse_prediction,
+    write_series_csv,
+    write_series_json,
+)
+
+
+class TestPrediction:
+    def test_tiny_grid(self):
+        result = run_mse_prediction(
+            datasets=("uniform",),
+            mechanisms=("laplace", "piecewise"),
+            users=3000,
+            dimensions=10,
+            repeats=2,
+            rng=0,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.predicted > 0
+            assert 0.4 < row.ratio < 2.5
+
+    def test_format_contains_grid(self):
+        result = run_mse_prediction(
+            datasets=("uniform",),
+            mechanisms=("laplace",),
+            users=2000,
+            dimensions=8,
+            repeats=1,
+            rng=0,
+        )
+        text = result.format()
+        assert "uniform" in text and "laplace" in text and "ratio" in text
+
+    def test_worst_ratio_error(self):
+        result = run_mse_prediction(
+            datasets=("uniform",),
+            mechanisms=("laplace",),
+            users=4000,
+            dimensions=10,
+            repeats=3,
+            rng=0,
+        )
+        assert result.worst_ratio_error() == abs(result.rows[0].ratio - 1.0)
+
+
+@pytest.fixture()
+def rows():
+    return [
+        SeriesRow(x=0.1, values={"baseline": 1.5, "l1": 0.2}),
+        SeriesRow(x=0.2, values={"baseline": 0.7, "l1": 0.1}),
+    ]
+
+
+class TestCsv:
+    def test_roundtrip(self, rows, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv(path, "epsilon", ("baseline", "l1"), rows)
+        x_label, labels, loaded = read_series_csv(path)
+        assert x_label == "epsilon"
+        assert labels == ["baseline", "l1"]
+        assert [r.x for r in loaded] == [0.1, 0.2]
+        assert loaded[0].values == rows[0].values
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            read_series_csv(path)
+
+    def test_bad_width_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,a\n1,2,3\n")
+        with pytest.raises(SerializationError):
+            read_series_csv(path)
+
+    def test_header_needs_values(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("x\n1\n")
+        with pytest.raises(SerializationError):
+            read_series_csv(path)
+
+
+class TestJson:
+    def test_roundtrip_with_metadata(self, rows, tmp_path):
+        path = tmp_path / "series.json"
+        write_series_json(
+            path, "epsilon", ("baseline", "l1"), rows, metadata={"seed": 7}
+        )
+        x_label, labels, loaded, metadata = read_series_json(path)
+        assert x_label == "epsilon"
+        assert metadata == {"seed": 7}
+        np.testing.assert_allclose(
+            [r.values["l1"] for r in loaded], [0.2, 0.1]
+        )
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            read_series_json(path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "missing.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(SerializationError):
+            read_series_json(path)

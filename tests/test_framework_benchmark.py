@@ -1,0 +1,99 @@
+"""Tests for the analytical mechanism benchmark (Table II machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import ValueDistribution, benchmark_mechanisms
+from repro.mechanisms import (
+    LaplaceMechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+)
+
+
+@pytest.fixture()
+def table():
+    return benchmark_mechanisms(
+        [PiecewiseMechanism(), SquareWaveMechanism()],
+        epsilon_per_dim=0.001,
+        reports=10_000,
+        suprema=(0.001, 0.01, 0.05, 0.1),
+        default_population=ValueDistribution.case_study(),
+    )
+
+
+class TestTable:
+    def test_row_per_mechanism(self, table):
+        assert [row.mechanism for row in table.rows] == [
+            "piecewise",
+            "square_wave_unit",
+        ]
+
+    def test_probabilities_monotone_in_suprema(self, table):
+        for row in table.rows:
+            assert np.all(np.diff(row.probabilities) >= 0)
+
+    def test_paper_table2_winners(self, table):
+        assert table.winner_at(0.001) == "piecewise"
+        assert table.winner_at(0.01) == "piecewise"
+        assert table.winner_at(0.05) == "square_wave_unit"
+        assert table.winner_at(0.1) == "square_wave_unit"
+
+    def test_piecewise_cells_match_paper(self, table):
+        row = table.rows[0]
+        np.testing.assert_allclose(
+            row.probabilities[:2], [3.46e-5, 3.46e-4], rtol=0.02
+        )
+
+    def test_as_dict_roundtrip(self, table):
+        mapping = table.as_dict()
+        assert set(mapping) == {"piecewise", "square_wave_unit"}
+        assert len(mapping["piecewise"]) == 4
+
+    def test_format_contains_all_rows(self, table):
+        text = table.format()
+        assert "piecewise" in text and "square_wave_unit" in text
+        assert text.count("\n") == 2
+
+    def test_best_at_interpolates(self, table):
+        row = table.rows[0]
+        mid = row.best_at(0.005)
+        assert row.probabilities[0] < mid < row.probabilities[1]
+
+
+class TestValidation:
+    def test_empty_suprema_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_mechanisms(
+                [LaplaceMechanism()], 0.1, 100, suprema=()
+            )
+
+    def test_unbounded_mechanism_without_population(self):
+        table = benchmark_mechanisms(
+            [LaplaceMechanism()], 0.1, 100, suprema=(0.5, 1.0)
+        )
+        assert len(table.rows) == 1
+
+    def test_per_mechanism_population_override(self):
+        override = ValueDistribution.point_mass(0.9)
+        table = benchmark_mechanisms(
+            [PiecewiseMechanism()],
+            0.1,
+            100,
+            suprema=(1.0,),
+            populations={"piecewise": override},
+        )
+        # Variance at t=0.9 exceeds variance at the case-study mix, so the
+        # probability of staying within xi is lower than with the default.
+        default = benchmark_mechanisms(
+            [PiecewiseMechanism()],
+            0.1,
+            100,
+            suprema=(1.0,),
+            default_population=ValueDistribution.point_mass(0.0),
+        )
+        assert (
+            table.rows[0].probabilities[0] < default.rows[0].probabilities[0]
+        )

@@ -1,0 +1,106 @@
+"""Tests for the Theorem 2 Berry–Esseen machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    ValueDistribution,
+    berry_esseen_bound,
+    convergence_curve,
+)
+from repro.mechanisms import (
+    DuchiMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+)
+
+
+class TestBound:
+    def test_laplace_closed_form(self):
+        # rho = 6 lambda^3, s = sqrt(2) lambda; lambdas cancel.
+        result = berry_esseen_bound(LaplaceMechanism(), 1.0, 1_000)
+        s3 = 2.0 * math.sqrt(2.0)
+        expected = 0.33554 * (6.0 + 0.415 * s3) / (s3 * math.sqrt(1_000))
+        assert result.bound == pytest.approx(expected)
+
+    def test_independent_of_epsilon_for_laplace(self):
+        a = berry_esseen_bound(LaplaceMechanism(), 0.3, 500).bound
+        b = berry_esseen_bound(LaplaceMechanism(), 3.0, 500).bound
+        assert a == pytest.approx(b)
+
+    def test_decays_as_inverse_sqrt(self):
+        base = berry_esseen_bound(LaplaceMechanism(), 1.0, 100)
+        assert base.at_reports(400).bound == pytest.approx(base.bound / 2.0)
+
+    def test_at_reports_validates(self):
+        base = berry_esseen_bound(LaplaceMechanism(), 1.0, 100)
+        with pytest.raises(ValueError):
+            base.at_reports(0)
+
+    def test_bounded_mechanism_requires_population(self):
+        with pytest.raises(ValueError):
+            berry_esseen_bound(PiecewiseMechanism(), 0.5, 100)
+
+    def test_bounded_mechanism_with_population(self, rng):
+        result = berry_esseen_bound(
+            DuchiMechanism(),
+            0.5,
+            1_000,
+            ValueDistribution.case_study().rescale(2.0, -1.1),
+            rng=rng,
+        )
+        assert 0.0 < result.bound < 1.0
+        assert result.per_report_std > 0
+        assert result.third_moment > 0
+
+    def test_invalid_reports(self):
+        with pytest.raises(ValueError):
+            berry_esseen_bound(LaplaceMechanism(), 1.0, 0)
+
+    def test_paper_worked_example_reading(self):
+        # The paper reports ~1.57% at r=1000, computed with rho = 3 lambda^3
+        # (a typo: the true Laplace moment is 6 lambda^3). Check we can
+        # reproduce their arithmetic under their reading.
+        s3 = 2.0 * math.sqrt(2.0)
+        paper = 0.33554 * (3.0 + 0.415 * s3) / (s3 * math.sqrt(1_000))
+        assert paper == pytest.approx(0.0157, abs=2e-4)
+
+
+class TestCurve:
+    def test_matches_pointwise_bounds(self):
+        counts = [100, 400, 1600]
+        curve = convergence_curve(LaplaceMechanism(), 1.0, counts)
+        for r, bound in zip(counts, curve):
+            direct = berry_esseen_bound(LaplaceMechanism(), 1.0, r).bound
+            assert bound == pytest.approx(direct)
+
+    def test_empty_counts(self):
+        assert convergence_curve(LaplaceMechanism(), 1.0, []).size == 0
+
+    def test_monotone_decreasing(self):
+        curve = convergence_curve(LaplaceMechanism(), 1.0, [10, 100, 1000])
+        assert np.all(np.diff(curve) < 0)
+
+    def test_empirical_distance_below_bound(self, rng):
+        """The actual KS distance sits below the Theorem 2 bound."""
+        from repro.experiments import (
+            empirical_cdf_distance,
+            simulate_dimension_deviations,
+        )
+        from repro.framework import build_deviation_model
+
+        mech = LaplaceMechanism()
+        eps, reports, repeats = 1.0, 400, 400
+        column = rng.uniform(-1, 1, reports)
+        deviations = simulate_dimension_deviations(
+            mech, column, eps, 1.0, repeats, rng
+        )
+        model = build_deviation_model(mech, eps, reports)
+        distance = empirical_cdf_distance(deviations, model.delta, model.sigma)
+        bound = berry_esseen_bound(mech, eps, reports).bound
+        dkw = math.sqrt(math.log(2.0 / 1e-3) / (2.0 * repeats))
+        assert distance <= bound + dkw

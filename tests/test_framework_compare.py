@@ -1,0 +1,82 @@
+"""Tests for the pairwise crossover finder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.framework import (
+    DeviationModel,
+    ValueDistribution,
+    build_deviation_model,
+    crossover_supremum,
+)
+from repro.mechanisms import get_mechanism
+
+
+def _model(delta, sigma, name):
+    return DeviationModel(
+        delta=delta, sigma=sigma, reports=100, epsilon=0.01, mechanism_name=name
+    )
+
+
+class TestSyntheticModels:
+    def test_unbiased_vs_biased_tight(self):
+        # A: zero-bias huge-sigma; B: biased tiny-sigma — the Table II
+        # pattern. A wins tiny xi, B wins large xi.
+        a = _model(0.0, 10.0, "wide")
+        b = _model(0.5, 0.01, "tight")
+        result = crossover_supremum(a, b)
+        assert result.crossover is not None
+        assert result.small_xi_winner == "wide"
+        assert result.large_xi_winner == "tight"
+        # Below the bias, B has ~zero probability; crossover near |delta|.
+        assert 0.1 < result.crossover < 1.0
+
+    def test_dominant_model_no_crossover(self):
+        a = _model(0.0, 1.0, "good")
+        b = _model(0.0, 5.0, "bad")
+        result = crossover_supremum(a, b)
+        assert result.crossover is None
+        assert result.small_xi_winner == "good"
+        assert result.large_xi_winner == "good"
+
+    def test_identical_models_tie(self):
+        a = _model(0.0, 1.0, "a")
+        b = _model(0.0, 1.0, "b")
+        result = crossover_supremum(a, b)
+        assert result.crossover is None
+        assert result.small_xi_winner == "tie"
+
+    def test_crossover_is_equality_point(self):
+        a = _model(0.0, 10.0, "wide")
+        b = _model(0.5, 0.01, "tight")
+        result = crossover_supremum(a, b)
+        xi = result.crossover
+        assert a.supremum_probability(xi) == pytest.approx(
+            b.supremum_probability(xi), abs=1e-6
+        )
+
+    def test_validation(self):
+        a = _model(0.0, 1.0, "a")
+        b = _model(0.0, 2.0, "b")
+        with pytest.raises(DistributionError):
+            crossover_supremum(a, b, xi_low=0.0)
+        with pytest.raises(DistributionError):
+            crossover_supremum(a, b, xi_low=1.0, xi_high=0.5)
+
+
+class TestCaseStudyCrossover:
+    def test_piecewise_square_crossover_location(self):
+        """Table II implies a flip between xi = 0.01 and xi = 0.05."""
+        population = ValueDistribution.case_study()
+        piecewise = build_deviation_model(
+            get_mechanism("piecewise"), 0.001, 10_000, population
+        )
+        square = build_deviation_model(
+            get_mechanism("square_wave_unit"), 0.001, 10_000, population
+        )
+        result = crossover_supremum(piecewise, square)
+        assert result.small_xi_winner == "piecewise"
+        assert result.large_xi_winner == "square_wave_unit"
+        assert 0.01 < result.crossover < 0.05

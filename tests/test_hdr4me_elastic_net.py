@@ -1,0 +1,122 @@
+"""Tests for the elastic-net extension of HDR4ME."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import CalibrationError
+from repro.hdr4me import ProximalGradientSolver, recalibrate_l1, recalibrate_l2
+from repro.hdr4me.elastic_net import (
+    ElasticNetRegularizer,
+    recalibrate_elastic_net,
+)
+
+VECTORS = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=24),
+    elements=st.floats(min_value=-30, max_value=30, allow_nan=False),
+)
+
+
+class TestLimits:
+    def test_alpha_one_is_l1(self, rng):
+        theta = rng.normal(scale=5, size=32)
+        lam = np.abs(rng.normal(scale=2, size=32))
+        np.testing.assert_allclose(
+            recalibrate_elastic_net(theta, lam, alpha=1.0),
+            recalibrate_l1(theta, lam),
+        )
+
+    def test_alpha_zero_is_l2(self, rng):
+        theta = rng.normal(scale=5, size=32)
+        lam = np.abs(rng.normal(scale=2, size=32))
+        np.testing.assert_allclose(
+            recalibrate_elastic_net(theta, lam, alpha=0.0),
+            recalibrate_l2(theta, lam),
+        )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(CalibrationError):
+            ElasticNetRegularizer(alpha=1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            recalibrate_elastic_net(np.zeros(3), np.zeros(2))
+
+    def test_scalar_lambda_broadcasts(self):
+        out = recalibrate_elastic_net(np.array([4.0, 0.2]), np.array([1.0]), 0.5)
+        assert out.shape == (2,)
+        assert out[1] == 0.0  # |0.2| < alpha*lam = 0.5 -> zeroed
+
+
+class TestBehaviour:
+    def test_sparsifies_like_l1(self):
+        theta = np.array([0.3, 5.0])
+        out = recalibrate_elastic_net(theta, np.array([1.0, 1.0]), alpha=0.5)
+        assert out[0] == 0.0
+        assert 0.0 < out[1] < 5.0
+
+    def test_shrinks_survivors_more_than_pure_l1(self):
+        theta = np.array([5.0])
+        lam = np.array([1.0])
+        l1_out = recalibrate_l1(theta, lam)[0]
+        en_out = recalibrate_elastic_net(theta, lam, alpha=0.5)[0]
+        assert 0.0 < en_out < l1_out
+
+    def test_penalty_interpolates(self):
+        theta, lam = np.array([2.0]), np.array([1.5])
+        en = ElasticNetRegularizer(alpha=0.25)
+        l1_pen = np.sum(np.abs(lam * theta))
+        l2_pen = np.sum(lam * theta**2)
+        assert en.penalty(theta, lam) == pytest.approx(
+            0.25 * l1_pen + 0.75 * l2_pen
+        )
+
+    @given(
+        theta=VECTORS,
+        lam=st.floats(min_value=0, max_value=10),
+        alpha=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_prox_matches_pgd(self, theta, lam, alpha):
+        """The composed closed form is the true proximal minimizer."""
+        solver = ProximalGradientSolver(ElasticNetRegularizer(alpha))
+        result = solver.solve(theta, lam)
+        np.testing.assert_allclose(
+            result.theta,
+            recalibrate_elastic_net(theta, np.full(theta.size, lam), alpha),
+            atol=1e-9,
+        )
+
+    @given(
+        theta=VECTORS,
+        lam=st.floats(min_value=0, max_value=10),
+        alpha=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_contraction_and_sign(self, theta, lam, alpha):
+        out = recalibrate_elastic_net(theta, np.full(theta.size, lam), alpha)
+        assert np.all(np.abs(out) <= np.abs(theta) + 1e-12)
+        assert np.all(out * theta >= 0.0)
+
+    @given(theta=VECTORS, lam=st.floats(min_value=0.01, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_grid_optimality(self, theta, lam):
+        """prox output beats coordinate perturbations on the EN objective."""
+        alpha = 0.5
+        lam_vec = np.full(theta.size, lam)
+        out = recalibrate_elastic_net(theta, lam_vec, alpha)
+        en = ElasticNetRegularizer(alpha)
+
+        def objective(x):
+            return 0.5 * np.sum((x - theta) ** 2) + en.penalty(x, lam_vec)
+
+        best = objective(out)
+        for j in range(theta.size):
+            for delta in (-0.01, 0.01):
+                candidate = out.copy()
+                candidate[j] += delta
+                assert objective(candidate) >= best - 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the Norm-Sub simplex projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import DimensionError
+from repro.hdr4me import norm_sub_frequencies
+
+NOISY_FREQ = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
+)
+
+
+class TestBasics:
+    def test_already_on_simplex_unchanged(self):
+        freq = np.array([0.25, 0.5, 0.25])
+        np.testing.assert_allclose(norm_sub_frequencies(freq), freq, atol=1e-12)
+
+    def test_worked_example(self):
+        out = norm_sub_frequencies(np.array([0.5, 0.4, 0.3, -0.1]))
+        assert out.sum() == pytest.approx(1.0)
+        assert out[3] == 0.0
+        # A uniform offset is removed from the surviving entries.
+        np.testing.assert_allclose(np.diff(out[:3]), [-0.1, -0.1], atol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            norm_sub_frequencies(np.array([]))
+
+    def test_single_entry(self):
+        np.testing.assert_allclose(norm_sub_frequencies(np.array([0.2])), [1.0])
+
+    def test_preserves_order_better_than_rescale(self):
+        # Norm-sub removes noise additively, so dominant frequencies keep
+        # their absolute gap; clip-and-rescale shrinks them.
+        noisy = np.array([0.6, 0.3, 0.2, 0.1])
+        out = norm_sub_frequencies(noisy)
+        assert out[0] - out[1] == pytest.approx(0.3, abs=1e-12)
+
+
+@given(freq=NOISY_FREQ)
+@settings(max_examples=80, deadline=None)
+def test_property_output_on_simplex(freq):
+    out = norm_sub_frequencies(freq)
+    assert out.min() >= 0.0
+    assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@given(freq=NOISY_FREQ)
+@settings(max_examples=80, deadline=None)
+def test_property_order_preserved(freq):
+    out = norm_sub_frequencies(freq)
+    order_in = np.argsort(freq, kind="stable")
+    projected = out[order_in]
+    assert np.all(np.diff(projected) >= -1e-12)
+
+
+@given(freq=NOISY_FREQ)
+@settings(max_examples=40, deadline=None)
+def test_property_euclidean_projection(freq):
+    """No simplex point found by local perturbation is closer to the input."""
+    out = norm_sub_frequencies(freq)
+    base = np.sum((out - freq) ** 2)
+    if freq.size < 2:
+        return
+    for i in range(min(freq.size, 5)):
+        for j in range(min(freq.size, 5)):
+            if i == j:
+                continue
+            candidate = out.copy()
+            shift = min(0.01, candidate[i])
+            candidate[i] -= shift
+            candidate[j] += shift
+            assert np.sum((candidate - freq) ** 2) >= base - 1e-9

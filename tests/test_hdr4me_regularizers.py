@@ -1,0 +1,117 @@
+"""Tests for the L1/L2 regularizers and proximal operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdr4me import (
+    L1Regularizer,
+    L2Regularizer,
+    get_regularizer,
+    ridge_shrink,
+    soft_threshold,
+)
+
+FINITE = st.floats(min_value=-100, max_value=100, allow_nan=False)
+NONNEG = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+
+class TestSoftThreshold:
+    def test_kills_small_values(self):
+        out = soft_threshold(np.array([0.5, -0.5]), np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_shrinks_large_values(self):
+        out = soft_threshold(np.array([3.0, -3.0]), np.array([1.0, 1.0]))
+        np.testing.assert_allclose(out, [2.0, -2.0])
+
+    def test_paper_eq34_cases(self):
+        # The three branches of Eq. 34.
+        lam = np.array([1.0])
+        assert soft_threshold(np.array([2.5]), lam)[0] == pytest.approx(1.5)
+        assert soft_threshold(np.array([0.7]), lam)[0] == 0.0
+        assert soft_threshold(np.array([-2.5]), lam)[0] == pytest.approx(-1.5)
+
+    def test_scalar_threshold_broadcasts(self):
+        out = soft_threshold(np.array([2.0, -0.1, 5.0]), 1.0)
+        np.testing.assert_allclose(out, [1.0, 0.0, 4.0])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.array([1.0]), np.array([-0.1]))
+
+    @given(z=FINITE, lam=NONNEG)
+    @settings(max_examples=60, deadline=None)
+    def test_property_prox_of_l1(self, z, lam):
+        """S(z, lam) minimizes 0.5 (x-z)^2 + lam |x| (checked on a grid)."""
+        out = float(soft_threshold(np.array([z]), np.array([lam]))[0])
+        objective = lambda x: 0.5 * (x - z) ** 2 + lam * abs(x)
+        grid = np.linspace(z - 2 * lam - 1, z + 2 * lam + 1, 2001)
+        assert objective(out) <= np.min([objective(x) for x in grid]) + 1e-6
+
+    @given(z=FINITE, lam=NONNEG)
+    @settings(max_examples=60, deadline=None)
+    def test_property_shrinks_toward_zero(self, z, lam):
+        out = float(soft_threshold(np.array([z]), np.array([lam]))[0])
+        assert abs(out) <= abs(z) + 1e-12
+        assert out * z >= 0.0  # never flips sign
+
+
+class TestRidgeShrink:
+    def test_paper_eq42(self):
+        out = ridge_shrink(np.array([3.0]), np.array([1.0]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_zero_weight_is_identity(self):
+        values = np.array([1.0, -2.0, 0.3])
+        np.testing.assert_array_equal(ridge_shrink(values, 0.0), values)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ridge_shrink(np.array([1.0]), np.array([-1.0]))
+
+    @given(z=FINITE, lam=NONNEG)
+    @settings(max_examples=60, deadline=None)
+    def test_property_prox_of_weighted_ridge(self, z, lam):
+        """z/(2 lam + 1) minimizes 0.5 (x-z)^2 + lam x^2 exactly."""
+        out = float(ridge_shrink(np.array([z]), np.array([lam]))[0])
+        # First-order condition: (x - z) + 2 lam x = 0.
+        assert (out - z) + 2 * lam * out == pytest.approx(0.0, abs=1e-9)
+
+    @given(z=FINITE, lam=NONNEG)
+    @settings(max_examples=60, deadline=None)
+    def test_property_contraction(self, z, lam):
+        out = float(ridge_shrink(np.array([z]), np.array([lam]))[0])
+        assert abs(out) <= abs(z) + 1e-12
+
+
+class TestRegularizerObjects:
+    def test_get_regularizer(self):
+        assert isinstance(get_regularizer("l1"), L1Regularizer)
+        assert isinstance(get_regularizer("L2"), L2Regularizer)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_regularizer("l3")
+
+    def test_l1_penalty(self):
+        reg = L1Regularizer()
+        value = reg.penalty(np.array([1.0, -2.0]), np.array([0.5, 1.0]))
+        assert value == pytest.approx(0.5 + 2.0)
+
+    def test_l2_penalty(self):
+        reg = L2Regularizer()
+        value = reg.penalty(np.array([1.0, -2.0]), np.array([0.5, 1.0]))
+        assert value == pytest.approx(0.5 * 1 + 1.0 * 4)
+
+    def test_prox_delegation(self):
+        z = np.array([2.0, -3.0])
+        lam = np.array([1.0, 1.0])
+        np.testing.assert_allclose(
+            L1Regularizer().prox(z, lam), soft_threshold(z, lam)
+        )
+        np.testing.assert_allclose(
+            L2Regularizer().prox(z, lam), ridge_shrink(z, lam)
+        )

@@ -1,0 +1,128 @@
+"""Tests for the one-off solvers and proximal gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import CalibrationError
+from repro.hdr4me import (
+    ProximalGradientSolver,
+    get_regularizer,
+    recalibrate_l1,
+    recalibrate_l2,
+)
+
+VECTORS = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=32),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+class TestClosedForms:
+    def test_l1_eq34(self):
+        theta = np.array([2.5, 0.7, -2.5, 0.0])
+        out = recalibrate_l1(theta, 1.0)
+        np.testing.assert_allclose(out, [1.5, 0.0, -1.5, 0.0])
+
+    def test_l2_eq42(self):
+        theta = np.array([3.0, -6.0])
+        out = recalibrate_l2(theta, np.array([1.0, 2.5]))
+        np.testing.assert_allclose(out, [1.0, -1.0])
+
+    def test_per_dimension_lambdas(self):
+        theta = np.array([2.0, 2.0])
+        out = recalibrate_l1(theta, np.array([0.5, 1.5]))
+        np.testing.assert_allclose(out, [1.5, 0.5])
+
+    def test_shape_preserved(self):
+        theta = np.zeros((3,))
+        assert recalibrate_l1(theta, 1.0).shape == (3,)
+
+    def test_lambda_size_mismatch(self):
+        with pytest.raises(CalibrationError):
+            recalibrate_l1(np.zeros(3), np.zeros(2))
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(CalibrationError):
+            recalibrate_l2(np.zeros(2), np.array([1.0, -1.0]))
+
+    def test_nan_lambda_rejected(self):
+        with pytest.raises(CalibrationError):
+            recalibrate_l1(np.zeros(1), np.array([np.nan]))
+
+
+class TestPGD:
+    def test_converges_in_one_productive_step(self):
+        solver = ProximalGradientSolver(get_regularizer("l1"))
+        result = solver.solve(np.array([3.0, 0.2]), 1.0)
+        assert result.converged
+        assert result.iterations <= 2
+
+    def test_invalid_step_size(self):
+        with pytest.raises(CalibrationError):
+            ProximalGradientSolver(get_regularizer("l1"), step_size=2.0)
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(CalibrationError):
+            ProximalGradientSolver(get_regularizer("l1"), max_iter=0)
+
+    def test_theta_init_shape_checked(self):
+        solver = ProximalGradientSolver(get_regularizer("l1"))
+        with pytest.raises(CalibrationError):
+            solver.solve(np.zeros(3), 1.0, theta_init=np.zeros(2))
+
+    def test_partial_steps_still_converge(self):
+        # Smaller steps need more iterations but reach the same point.
+        solver = ProximalGradientSolver(
+            get_regularizer("l2"), step_size=0.5, max_iter=500, tolerance=1e-13
+        )
+        theta = np.array([4.0, -2.0])
+        result = solver.solve(theta, 1.0)
+        assert result.converged
+        np.testing.assert_allclose(result.theta, recalibrate_l2(theta, 1.0),
+                                   atol=1e-9)
+
+    def test_objective_reported(self):
+        solver = ProximalGradientSolver(get_regularizer("l1"))
+        result = solver.solve(np.array([3.0]), 1.0)
+        # theta* = 2; objective = 0.5*(2-3)^2 + |2| = 2.5
+        assert result.objective == pytest.approx(2.5)
+
+    @given(theta=VECTORS, lam=st.floats(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_pgd_equals_closed_form_l1(self, theta, lam):
+        solver = ProximalGradientSolver(get_regularizer("l1"))
+        result = solver.solve(theta, lam)
+        np.testing.assert_allclose(
+            result.theta, recalibrate_l1(theta, lam), atol=1e-10
+        )
+
+    @given(theta=VECTORS, lam=st.floats(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_pgd_equals_closed_form_l2(self, theta, lam):
+        solver = ProximalGradientSolver(get_regularizer("l2"))
+        result = solver.solve(theta, lam)
+        np.testing.assert_allclose(
+            result.theta, recalibrate_l2(theta, lam), atol=1e-10
+        )
+
+    @given(theta=VECTORS, lam=st.floats(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_solution_minimizes_objective(self, theta, lam):
+        """No coordinate perturbation of theta* improves the L1 objective."""
+        out = recalibrate_l1(theta, lam)
+        lam_vec = np.full(theta.size, lam)
+
+        def objective(x):
+            return 0.5 * np.sum((x - theta) ** 2) + np.sum(lam_vec * np.abs(x))
+
+        best = objective(out)
+        for j in range(theta.size):
+            for delta in (-0.01, 0.01):
+                candidate = out.copy()
+                candidate[j] += delta
+                assert objective(candidate) >= best - 1e-9

@@ -1,0 +1,75 @@
+"""Tests for Duchi et al.'s binary mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.mechanisms import DuchiMechanism, monte_carlo_moments
+
+
+class TestOutputs:
+    def test_outputs_are_binary(self, rng):
+        mech = DuchiMechanism()
+        out = mech.perturb(rng.uniform(-1, 1, 10_000), 1.0, rng)
+        big_c = mech.magnitude(1.0)
+        assert set(np.round(np.unique(out), 10)) == {
+            round(-big_c, 10),
+            round(big_c, 10),
+        }
+
+    def test_magnitude_formula(self):
+        assert DuchiMechanism.magnitude(1.0) == pytest.approx(
+            (np.e + 1) / (np.e - 1)
+        )
+
+    def test_magnitude_decreases_with_eps(self):
+        mags = [DuchiMechanism.magnitude(e) for e in (0.2, 0.5, 1.0, 3.0)]
+        assert all(a > b for a, b in zip(mags, mags[1:]))
+
+    def test_rejects_out_of_domain(self, rng):
+        with pytest.raises(DomainError):
+            DuchiMechanism().perturb(np.array([1.2]), 1.0, rng)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("t", [-0.9, 0.0, 0.6])
+    def test_unbiased(self, t, rng):
+        bias_mc, _ = monte_carlo_moments(DuchiMechanism(), t, 1.0, 300_000, rng)
+        assert bias_mc == pytest.approx(0.0, abs=0.02)
+
+    def test_variance_formula(self, rng):
+        mech = DuchiMechanism()
+        _, var_mc = monte_carlo_moments(mech, 0.4, 1.0, 300_000, rng)
+        assert var_mc == pytest.approx(
+            mech.conditional_variance(np.array([0.4]), 1.0)[0], rel=0.02
+        )
+
+    def test_third_moment_exact_two_point_sum(self, rng):
+        mech = DuchiMechanism()
+        t, eps = 0.3, 1.0
+        analytic = mech.abs_third_central_moment(np.array([t]), eps)[0]
+        draws = mech.perturb(np.full(300_000, t), eps, rng)
+        empirical = np.mean(np.abs(draws - t) ** 3)
+        assert empirical == pytest.approx(analytic, rel=0.02)
+
+
+class TestPrivacy:
+    def test_ldp_ratio_exact(self):
+        # For a binary output the LDP constraint is a ratio of pmfs at the
+        # two extreme inputs; it must be exactly exp(eps) at the boundary.
+        eps = 0.9
+        p_plus_1 = 0.5 + 1.0 * np.expm1(eps) / (2 * (np.exp(eps) + 1))
+        p_minus_1 = 0.5 - 1.0 * np.expm1(eps) / (2 * (np.exp(eps) + 1))
+        assert p_plus_1 / p_minus_1 == pytest.approx(np.exp(eps))
+
+    def test_report_probability_monotone_in_value(self, rng):
+        mech = DuchiMechanism()
+        eps = 1.0
+        big_c = mech.magnitude(eps)
+        counts = []
+        for t in (-1.0, 0.0, 1.0):
+            out = mech.perturb(np.full(100_000, t), eps, rng)
+            counts.append(np.mean(out == big_c))
+        assert counts[0] < counts[1] < counts[2]

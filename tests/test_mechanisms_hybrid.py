@@ -1,0 +1,79 @@
+"""Tests for the Hybrid (Piecewise ⊕ Duchi) mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    PiecewiseMechanism,
+    monte_carlo_moments,
+)
+from repro.mechanisms.hybrid import EPSILON_STAR
+
+
+class TestMixingProbability:
+    def test_below_threshold_pure_duchi(self):
+        assert HybridMechanism.mixing_probability(0.5) == 0.0
+        assert HybridMechanism.mixing_probability(EPSILON_STAR) == 0.0
+
+    def test_above_threshold(self):
+        eps = 2.0
+        assert HybridMechanism.mixing_probability(eps) == pytest.approx(
+            1.0 - np.exp(-1.0)
+        )
+
+    def test_monotone_increasing(self):
+        alphas = [HybridMechanism.mixing_probability(e) for e in (0.7, 1, 2, 5)]
+        assert all(a < b for a, b in zip(alphas, alphas[1:]))
+
+
+class TestBehaviour:
+    def test_small_eps_equals_duchi_distribution(self, rng):
+        mech = HybridMechanism()
+        eps = 0.4
+        out = mech.perturb(np.full(20_000, 0.3), eps, rng)
+        big_c = DuchiMechanism.magnitude(eps)
+        assert set(np.round(np.unique(out), 10)) <= {
+            round(-big_c, 10),
+            round(big_c, 10),
+        }
+
+    def test_large_eps_mixes_continuous_output(self, rng):
+        mech = HybridMechanism()
+        out = mech.perturb(np.full(20_000, 0.3), 2.0, rng)
+        # The Piecewise branch produces a continuum of values.
+        assert np.unique(np.round(out, 6)).size > 100
+
+    @pytest.mark.parametrize("eps", [0.4, 1.0, 3.0])
+    def test_unbiased(self, eps, rng):
+        bias_mc, _ = monte_carlo_moments(HybridMechanism(), -0.5, eps, 300_000, rng)
+        assert bias_mc == pytest.approx(0.0, abs=0.03)
+
+    @pytest.mark.parametrize("eps", [0.4, 1.0, 3.0])
+    def test_variance_mixture_formula(self, eps, rng):
+        mech = HybridMechanism()
+        t = 0.5
+        _, var_mc = monte_carlo_moments(mech, t, eps, 300_000, rng)
+        analytic = mech.conditional_variance(np.array([t]), eps)[0]
+        assert var_mc == pytest.approx(analytic, rel=0.05)
+
+    def test_variance_between_components_or_better(self):
+        mech = HybridMechanism()
+        eps, t = 2.0, np.array([0.5])
+        hybrid_var = mech.conditional_variance(t, eps)[0]
+        duchi_var = DuchiMechanism().conditional_variance(t, eps)[0]
+        piecewise_var = PiecewiseMechanism().conditional_variance(t, eps)[0]
+        assert min(piecewise_var, duchi_var) <= hybrid_var <= max(
+            piecewise_var, duchi_var
+        )
+
+    def test_support_covers_both_branches(self):
+        mech = HybridMechanism()
+        eps = 2.0
+        lo, hi = mech.output_support(eps)
+        assert hi >= PiecewiseMechanism.boundary(eps)
+        assert hi >= DuchiMechanism.magnitude(eps)
+        assert lo == -hi

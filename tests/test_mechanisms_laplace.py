@@ -1,0 +1,77 @@
+"""Tests for the Laplace mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import LaplaceMechanism, monte_carlo_moments
+
+
+class TestScale:
+    def test_scale_formula(self):
+        assert LaplaceMechanism().scale(0.5) == pytest.approx(4.0)
+
+    def test_custom_sensitivity(self):
+        assert LaplaceMechanism(sensitivity=1.0).scale(0.5) == pytest.approx(2.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(sensitivity=0.0)
+
+
+class TestMoments:
+    def test_variance_formula(self):
+        mech = LaplaceMechanism()
+        lam = mech.scale(1.0)
+        assert mech.noise_variance(1.0) == pytest.approx(2.0 * lam**2)
+
+    def test_unbiased(self, rng):
+        mech = LaplaceMechanism()
+        bias_mc, _ = monte_carlo_moments(mech, 0.5, 1.0, 200_000, rng)
+        assert bias_mc == pytest.approx(0.0, abs=0.03)
+
+    def test_variance_monte_carlo(self, rng):
+        mech = LaplaceMechanism()
+        _, var_mc = monte_carlo_moments(mech, -0.7, 2.0, 200_000, rng)
+        assert var_mc == pytest.approx(mech.noise_variance(2.0), rel=0.03)
+
+    def test_variance_independent_of_value(self):
+        mech = LaplaceMechanism()
+        values = np.linspace(-1, 1, 9)
+        variances = mech.conditional_variance(values, 0.7)
+        assert np.allclose(variances, variances[0])
+
+    def test_third_moment_closed_form(self, rng):
+        mech = LaplaceMechanism()
+        lam = mech.scale(1.0)
+        analytic = mech.abs_third_central_moment(np.array([0.0]), 1.0)[0]
+        assert analytic == pytest.approx(6.0 * lam**3)
+        draws = rng.laplace(0.0, lam, size=400_000)
+        empirical = np.mean(np.abs(draws) ** 3)
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self):
+        mech = LaplaceMechanism()
+        lam = mech.scale(1.0)
+        x = np.linspace(-40 * lam, 40 * lam, 400_001)
+        total = np.trapezoid(mech.pdf(x, 1.0), x)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_symmetric(self):
+        mech = LaplaceMechanism()
+        x = np.linspace(0.1, 5, 20)
+        np.testing.assert_allclose(mech.pdf(x, 1.0), mech.pdf(-x, 1.0))
+
+    def test_ldp_ratio_bounded_by_exp_eps(self):
+        # The defining LDP property: for any output x and inputs t1, t2,
+        # pdf(x - t1) / pdf(x - t2) <= exp(eps).
+        mech = LaplaceMechanism()
+        eps = 0.8
+        outputs = np.linspace(-6, 6, 101)
+        for t1 in (-1.0, 0.0, 1.0):
+            for t2 in (-1.0, 0.3, 1.0):
+                ratio = mech.pdf(outputs - t1, eps) / mech.pdf(outputs - t2, eps)
+                assert ratio.max() <= np.exp(eps) * (1 + 1e-9)

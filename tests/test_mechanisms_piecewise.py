@@ -1,0 +1,116 @@
+"""Tests for the Piecewise mechanism (paper Eq. 4 and Eq. 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import PiecewiseMechanism, monte_carlo_moments
+
+
+class TestGeometry:
+    def test_boundary_formula(self):
+        eps = 1.0
+        half = np.exp(eps / 2.0)
+        assert PiecewiseMechanism.boundary(eps) == pytest.approx(
+            (half + 1) / (half - 1)
+        )
+
+    def test_center_interval_width_is_q_minus_one(self):
+        eps = 0.7
+        left, right = PiecewiseMechanism.center_interval(
+            np.linspace(-1, 1, 11), eps
+        )
+        np.testing.assert_allclose(
+            right - left, PiecewiseMechanism.boundary(eps) - 1.0
+        )
+
+    def test_center_interval_inside_support(self):
+        eps = 0.7
+        big_q = PiecewiseMechanism.boundary(eps)
+        left, right = PiecewiseMechanism.center_interval(
+            np.array([-1.0, 1.0]), eps
+        )
+        assert left.min() >= -big_q - 1e-12
+        assert right.max() <= big_q + 1e-12
+
+    def test_outputs_within_boundary(self, rng):
+        mech = PiecewiseMechanism()
+        out = mech.perturb(rng.uniform(-1, 1, 50_000), 0.6, rng)
+        big_q = mech.boundary(0.6)
+        assert np.all(np.abs(out) <= big_q + 1e-12)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("t", [-0.8, 0.0, 0.5, 1.0])
+    def test_unbiased(self, t, rng):
+        bias_mc, _ = monte_carlo_moments(PiecewiseMechanism(), t, 1.0, 300_000, rng)
+        assert bias_mc == pytest.approx(0.0, abs=0.05)
+
+    @pytest.mark.parametrize("eps", [0.3, 1.0, 4.0])
+    def test_variance_eq14_corrected(self, eps, rng):
+        # Eq. 14 with the t -> t^2 typo corrected (see DESIGN.md §5).
+        mech = PiecewiseMechanism()
+        t = 0.6
+        _, var_mc = monte_carlo_moments(mech, t, eps, 300_000, rng)
+        analytic = mech.conditional_variance(np.array([t]), eps)[0]
+        assert var_mc == pytest.approx(analytic, rel=0.05)
+
+    def test_variance_grows_with_magnitude(self):
+        mech = PiecewiseMechanism()
+        variances = mech.conditional_variance(np.array([0.0, 0.5, 1.0]), 1.0)
+        assert variances[0] < variances[1] < variances[2]
+
+    def test_case_study_sigma(self):
+        # The Section IV-C constant: E_t[Var]/r = 533.210 at eps=0.001.
+        mech = PiecewiseMechanism()
+        values = np.linspace(0.1, 1.0, 10)
+        mean_var = mech.conditional_variance(values, 0.001).mean()
+        assert mean_var / 10_000 == pytest.approx(533.210, abs=0.05)
+
+
+class TestDensity:
+    def test_pdf_integrates_to_one(self):
+        mech = PiecewiseMechanism()
+        eps, t = 0.8, 0.3
+        big_q = mech.boundary(eps)
+        x = np.linspace(-big_q, big_q, 200_001)
+        total = np.trapezoid(mech.pdf(x, np.full_like(x, t), eps), x)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_zero_outside_support(self):
+        mech = PiecewiseMechanism()
+        big_q = mech.boundary(1.0)
+        assert mech.pdf(np.array([big_q + 1.0]), np.array([0.0]), 1.0)[0] == 0.0
+
+    def test_ldp_ratio_bounded(self):
+        # Pure eps-LDP: sup-ratio of densities across any pair of inputs.
+        mech = PiecewiseMechanism()
+        eps = 1.0
+        big_q = mech.boundary(eps)
+        outputs = np.linspace(-big_q + 1e-9, big_q - 1e-9, 4001)
+        inputs = (-1.0, -0.3, 0.4, 1.0)
+        densities = [
+            mech.pdf(outputs, np.full_like(outputs, t), eps) for t in inputs
+        ]
+        for da in densities:
+            for db in densities:
+                ratio = da / db
+                assert ratio.max() <= np.exp(eps) * (1 + 1e-9)
+
+    def test_high_low_density_ratio_is_exp_eps(self):
+        mech = PiecewiseMechanism()
+        eps = 1.3
+        high = (np.exp(eps) - np.exp(eps / 2)) / (2 * np.exp(eps / 2) + 2)
+        low = (1 - np.exp(-eps / 2)) / (2 * np.exp(eps / 2) + 2)
+        assert high / low == pytest.approx(np.exp(eps))
+
+    def test_center_mass(self, rng):
+        # P(t* in [l, r]) = e^{eps/2} / (e^{eps/2} + 1).
+        mech = PiecewiseMechanism()
+        eps, t = 0.9, 0.25
+        left, right = mech.center_interval(np.array([t]), eps)
+        out = mech.perturb(np.full(200_000, t), eps, rng)
+        inside = np.mean((out >= left[0]) & (out <= right[0]))
+        half = np.exp(eps / 2)
+        assert inside == pytest.approx(half / (half + 1), abs=0.01)

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) on mechanism invariants.
+
+These are the load-bearing invariants of the whole reproduction: every
+moment the framework consumes must be a genuine expectation of the actual
+sampler, and the samplers must respect their declared supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+    StaircaseMechanism,
+)
+
+EPSILONS = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+UNIT_VALUES = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+STANDARD_VALUES = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+
+STANDARD_MECHS = [
+    LaplaceMechanism,
+    StaircaseMechanism,
+    DuchiMechanism,
+    PiecewiseMechanism,
+    HybridMechanism,
+]
+
+
+@pytest.mark.parametrize("mech_cls", STANDARD_MECHS)
+@given(t=STANDARD_VALUES, eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_variance_positive_and_finite(mech_cls, t, eps):
+    mech = mech_cls()
+    var = mech.conditional_variance(np.array([t]), eps)[0]
+    assert np.isfinite(var)
+    assert var > 0.0
+
+
+@pytest.mark.parametrize("mech_cls", STANDARD_MECHS)
+@given(t=STANDARD_VALUES, eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_unbiased_mechanisms_have_zero_bias(mech_cls, t, eps):
+    mech = mech_cls()
+    assert mech.conditional_bias(np.array([t]), eps)[0] == pytest.approx(0.0)
+
+
+@given(t=UNIT_VALUES, eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_square_wave_mean_stays_in_support(t, eps):
+    # E[t*|t] = t + delta(t) must lie inside [-b, 1+b].
+    mech = SquareWaveMechanism()
+    b = mech.half_width(eps)
+    mean = t + mech.conditional_bias(np.array([t]), eps)[0]
+    assert -b - 1e-9 <= mean <= 1.0 + b + 1e-9
+
+
+@given(t=UNIT_VALUES, eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_square_wave_variance_below_support_bound(t, eps):
+    # Var of a variable supported on an interval of length L is <= L^2/4.
+    mech = SquareWaveMechanism()
+    b = mech.half_width(eps)
+    length = 1.0 + 2.0 * b
+    var = mech.conditional_variance(np.array([t]), eps)[0]
+    assert 0.0 < var <= length**2 / 4.0 + 1e-12
+
+
+@pytest.mark.parametrize(
+    "mech_cls", [DuchiMechanism, PiecewiseMechanism, HybridMechanism]
+)
+@given(t=STANDARD_VALUES, eps=EPSILONS, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_bounded_samples_stay_in_support(mech_cls, t, eps, seed):
+    mech = mech_cls()
+    lo, hi = mech.output_support(eps)
+    out = mech.perturb(np.full(256, t), eps, np.random.default_rng(seed))
+    assert out.min() >= lo - 1e-9
+    assert out.max() <= hi + 1e-9
+
+
+@given(eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_piecewise_variance_decreases_with_budget(eps):
+    mech = PiecewiseMechanism()
+    t = np.array([0.5])
+    tighter = mech.conditional_variance(t, eps)[0]
+    looser = mech.conditional_variance(t, eps * 2.0)[0]
+    assert looser < tighter
+
+
+@given(eps=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_laplace_variance_scales_inverse_square(eps):
+    mech = LaplaceMechanism()
+    assert mech.noise_variance(eps) == pytest.approx(
+        4.0 * mech.noise_variance(2.0 * eps)
+    )
+
+
+@given(
+    t=STANDARD_VALUES,
+    eps=st.floats(min_value=0.1, max_value=5.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_perturbation_is_reproducible_from_seed(t, eps, seed):
+    mech = PiecewiseMechanism()
+    a = mech.perturb(np.full(64, t), eps, np.random.default_rng(seed))
+    b = mech.perturb(np.full(64, t), eps, np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)

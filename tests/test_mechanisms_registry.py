@@ -1,0 +1,66 @@
+"""Tests for the mechanism registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import (
+    LaplaceMechanism,
+    Mechanism,
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
+from repro.mechanisms.registry import _REGISTRY
+
+
+class TestLookup:
+    def test_all_builtins_present(self):
+        names = available_mechanisms()
+        for expected in (
+            "laplace",
+            "staircase",
+            "duchi",
+            "piecewise",
+            "hybrid",
+            "square_wave",
+            "square_wave_unit",
+        ):
+            assert expected in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_mechanism("LAPLACE"), LaplaceMechanism)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="laplace"):
+            get_mechanism("nope")
+
+    def test_fresh_instance_per_call(self):
+        assert get_mechanism("laplace") is not get_mechanism("laplace")
+
+
+class TestRegistration:
+    def _cleanup(self, name):
+        _REGISTRY.pop(name, None)
+
+    def test_register_and_resolve(self):
+        class Custom(LaplaceMechanism):
+            name = "custom_test_mech"
+
+        try:
+            register_mechanism("custom_test_mech", Custom)
+            assert isinstance(get_mechanism("custom_test_mech"), Custom)
+            assert isinstance(get_mechanism("custom_test_mech"), Mechanism)
+        finally:
+            self._cleanup("custom_test_mech")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_mechanism("laplace", LaplaceMechanism)
+
+    def test_overwrite_allowed_explicitly(self):
+        try:
+            register_mechanism("tmp_mech", LaplaceMechanism)
+            register_mechanism("tmp_mech", LaplaceMechanism, overwrite=True)
+        finally:
+            self._cleanup("tmp_mech")

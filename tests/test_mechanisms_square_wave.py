@@ -1,0 +1,139 @@
+"""Tests for the Square-wave mechanism (paper Eq. 5, 17, 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import SquareWaveMechanism, monte_carlo_moments
+from repro.mechanisms.square_wave import standardized
+
+
+class TestHalfWidth:
+    def test_limit_small_eps(self):
+        # b -> 1/2 as eps -> 0.
+        assert SquareWaveMechanism.half_width(1e-6) == pytest.approx(0.5, abs=1e-4)
+
+    def test_limit_large_eps(self):
+        # b -> 0 as eps -> inf.
+        assert SquareWaveMechanism.half_width(50.0) < 1e-6
+
+    def test_monotone_decreasing(self):
+        widths = [SquareWaveMechanism.half_width(e) for e in (0.1, 0.5, 1, 3, 10)]
+        assert all(a > b for a, b in zip(widths, widths[1:]))
+
+    def test_numerically_stable_at_tiny_eps(self):
+        b = SquareWaveMechanism.half_width(1e-5)
+        assert 0.49 < b < 0.5
+
+    @pytest.mark.parametrize("eps", [100.0, 800.0, 5000.0])
+    def test_numerically_stable_at_huge_eps(self, eps, rng):
+        # The paper sweeps collective budgets up to 5000; exp(eps)
+        # overflows past ~709, so everything must route through b*e^eps.
+        mech = SquareWaveMechanism()
+        assert np.isfinite(mech.half_width(eps))
+        out = mech.perturb(np.full(2000, 0.3), eps, rng)
+        assert np.all(np.isfinite(out))
+        assert out.mean() == pytest.approx(0.3, abs=0.02)
+        bias = mech.conditional_bias(np.array([0.3]), eps)[0]
+        var = mech.conditional_variance(np.array([0.3]), eps)[0]
+        assert np.isfinite(bias) and abs(bias) < 0.01
+        assert np.isfinite(var) and 0 < var < 0.01
+
+
+class TestOutputs:
+    def test_support(self, rng):
+        mech = SquareWaveMechanism()
+        eps = 0.8
+        out = mech.perturb(rng.uniform(0, 1, 50_000), eps, rng)
+        b = mech.half_width(eps)
+        assert out.min() >= -b - 1e-12
+        assert out.max() <= 1.0 + b + 1e-12
+
+    def test_center_mass(self, rng):
+        # P(|t - t*| < b) = 2b e^eps / (2b e^eps + 1).
+        mech = SquareWaveMechanism()
+        eps, t = 1.2, 0.4
+        b = mech.half_width(eps)
+        out = mech.perturb(np.full(200_000, t), eps, rng)
+        inside = np.mean(np.abs(out - t) < b)
+        expected = 2 * b * np.exp(eps) / (2 * b * np.exp(eps) + 1)
+        assert inside == pytest.approx(expected, abs=0.01)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("eps", [0.3, 1.0, 4.0])
+    @pytest.mark.parametrize("t", [0.0, 0.35, 0.9])
+    def test_bias_eq17(self, eps, t, rng):
+        mech = SquareWaveMechanism()
+        bias_mc, _ = monte_carlo_moments(mech, t, eps, 200_000, rng)
+        analytic = mech.conditional_bias(np.array([t]), eps)[0]
+        assert bias_mc == pytest.approx(analytic, abs=0.01)
+
+    @pytest.mark.parametrize("eps", [0.3, 1.0, 4.0])
+    def test_variance_eq18(self, eps, rng):
+        mech = SquareWaveMechanism()
+        t = 0.6
+        _, var_mc = monte_carlo_moments(mech, t, eps, 200_000, rng)
+        analytic = mech.conditional_variance(np.array([t]), eps)[0]
+        assert var_mc == pytest.approx(analytic, rel=0.05)
+
+    def test_bias_pulls_toward_center(self):
+        # E[t*] is a contraction toward 1/2: bias positive below, negative
+        # above.
+        mech = SquareWaveMechanism()
+        biases = mech.conditional_bias(np.array([0.0, 0.5, 1.0]), 1.0)
+        assert biases[0] > 0
+        assert biases[1] == pytest.approx(0.0, abs=1e-12)
+        assert biases[2] < 0
+
+    def test_case_study_constants(self):
+        # Section IV-C: E_t[delta] ~ -0.049, E_t[Var]/r ~ 3.365e-5.
+        mech = SquareWaveMechanism()
+        values = np.linspace(0.1, 1.0, 10)
+        delta = mech.conditional_bias(values, 0.001).mean()
+        variance = mech.conditional_variance(values, 0.001).mean()
+        assert delta == pytest.approx(-0.049, abs=2e-3)
+        assert variance / 10_000 == pytest.approx(3.365e-5, abs=5e-7)
+
+
+class TestDensity:
+    def test_pdf_integrates_to_one(self):
+        mech = SquareWaveMechanism()
+        eps, t = 1.0, 0.3
+        b = mech.half_width(eps)
+        x = np.linspace(-b, 1 + b, 200_001)
+        total = np.trapezoid(mech.pdf(x, np.full_like(x, t), eps), x)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_ldp_ratio_bounded(self):
+        mech = SquareWaveMechanism()
+        eps = 1.0
+        b = mech.half_width(eps)
+        outputs = np.linspace(-b + 1e-9, 1 + b - 1e-9, 4001)
+        inputs = (0.0, 0.3, 0.7, 1.0)
+        densities = [
+            mech.pdf(outputs, np.full_like(outputs, t), eps) for t in inputs
+        ]
+        for da in densities:
+            for db in densities:
+                assert (da / db).max() <= np.exp(eps) * (1 + 1e-9)
+
+
+class TestStandardized:
+    def test_domain(self):
+        assert standardized().input_domain == (-1.0, 1.0)
+
+    def test_registry_alias(self):
+        from repro.mechanisms import get_mechanism
+
+        mech = get_mechanism("square_wave")
+        assert mech.input_domain == (-1.0, 1.0)
+        assert mech.bounded
+
+    def test_bias_sign_flips_at_zero(self):
+        mech = standardized()
+        biases = mech.conditional_bias(np.array([-0.8, 0.0, 0.8]), 1.0)
+        assert biases[0] > 0
+        assert biases[1] == pytest.approx(0.0, abs=1e-12)
+        assert biases[2] < 0

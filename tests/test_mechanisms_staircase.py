@@ -1,0 +1,88 @@
+"""Tests for the Staircase mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import StaircaseMechanism, monte_carlo_moments, optimal_gamma
+
+
+class TestParameters:
+    def test_optimal_gamma_formula(self):
+        assert optimal_gamma(2.0) == pytest.approx(1.0 / (1.0 + np.exp(1.0)))
+
+    def test_optimal_gamma_monotone_decreasing(self):
+        gammas = [optimal_gamma(e) for e in (0.1, 0.5, 1.0, 2.0, 5.0)]
+        assert all(a > b for a, b in zip(gammas, gammas[1:]))
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            StaircaseMechanism(gamma=1.5)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            StaircaseMechanism(sensitivity=-1.0)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("eps", [0.5, 1.0, 3.0])
+    def test_variance_closed_form_vs_monte_carlo(self, eps, rng):
+        mech = StaircaseMechanism()
+        _, var_mc = monte_carlo_moments(mech, 0.2, eps, 300_000, rng)
+        assert var_mc == pytest.approx(mech.noise_variance(eps), rel=0.03)
+
+    def test_zero_mean_noise(self, rng):
+        mech = StaircaseMechanism()
+        noise = mech.sample_noise((300_000,), 1.0, rng)
+        assert np.mean(noise) == pytest.approx(0.0, abs=0.05)
+
+    def test_beats_laplace_variance(self):
+        # Geng et al.'s point: staircase noise has lower variance than
+        # Laplace at the same eps (same sensitivity).
+        from repro.mechanisms import LaplaceMechanism
+
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            assert (
+                StaircaseMechanism().noise_variance(eps)
+                < LaplaceMechanism().noise_variance(eps)
+            )
+
+    def test_third_moment_closed_form_vs_monte_carlo(self, rng):
+        mech = StaircaseMechanism()
+        analytic = mech.abs_third_central_moment(np.array([0.0]), 1.0)[0]
+        noise = mech.sample_noise((400_000,), 1.0, rng)
+        empirical = np.mean(np.abs(noise) ** 3)
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_custom_gamma_respected(self, rng):
+        mech = StaircaseMechanism(gamma=0.5)
+        _, var_mc = monte_carlo_moments(mech, 0.0, 1.0, 300_000, rng)
+        assert var_mc == pytest.approx(mech.noise_variance(1.0), rel=0.03)
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self):
+        mech = StaircaseMechanism()
+        x = np.linspace(-100, 100, 2_000_001)
+        total = np.trapezoid(mech.pdf(x, 1.0), x)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_matches_histogram(self, rng):
+        mech = StaircaseMechanism()
+        noise = mech.sample_noise((400_000,), 1.0, rng)
+        hist, edges = np.histogram(noise, bins=60, range=(-10, 10), density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        predicted = mech.pdf(centers, 1.0)
+        # Exclude bins straddling a step edge where the histogram smears.
+        mask = predicted > 1e-4
+        assert np.mean(np.abs(hist[mask] - predicted[mask])) < 0.01
+
+    def test_ldp_ratio_within_step_structure(self):
+        # Adjacent inputs shift the noise by at most the sensitivity; the
+        # density ratio between points Δ apart is exactly e^{-eps} per step.
+        mech = StaircaseMechanism()
+        eps = 1.0
+        x = np.linspace(0.0, 20.0, 2001)
+        ratio = mech.pdf(x, eps) / mech.pdf(x + mech.sensitivity, eps)
+        assert ratio.max() <= np.exp(eps) * (1 + 1e-9)

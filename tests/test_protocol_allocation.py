@@ -1,0 +1,134 @@
+"""Tests for non-uniform budget allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DimensionError, PrivacyBudgetError
+from repro.mechanisms import LaplaceMechanism, PiecewiseMechanism
+from repro.protocol import (
+    SignalProportionalAllocation,
+    UniformAllocation,
+    WeightedAllocation,
+    allocated_pipeline_run,
+)
+
+
+class TestUniform:
+    def test_equal_shares(self):
+        eps = UniformAllocation().allocate(2.0, 8)
+        np.testing.assert_allclose(eps, 0.25)
+
+    def test_composition_invariant(self):
+        eps = UniformAllocation().allocate(1.7, 13)
+        assert eps.sum() == pytest.approx(1.7)
+
+    def test_validation(self):
+        with pytest.raises(PrivacyBudgetError):
+            UniformAllocation().allocate(0.0, 4)
+        with pytest.raises(DimensionError):
+            UniformAllocation().allocate(1.0, 0)
+
+
+class TestWeighted:
+    def test_proportional(self):
+        eps = WeightedAllocation(np.array([1.0, 3.0])).allocate(4.0, 2)
+        np.testing.assert_allclose(eps, [1.0, 3.0])
+
+    def test_zero_weight_floored(self):
+        eps = WeightedAllocation(np.array([0.0, 1.0])).allocate(1.0, 2)
+        assert eps[0] > 0.0
+        assert eps.sum() == pytest.approx(1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            WeightedAllocation(np.zeros(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            WeightedAllocation(np.array([1.0, -1.0]))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            WeightedAllocation(np.ones(3)).allocate(1.0, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            WeightedAllocation(np.empty(0))
+
+
+class TestSignalProportional:
+    def test_prior_drives_shares(self):
+        strategy = SignalProportionalAllocation(np.array([0.9, 0.0, 0.0]))
+        eps = strategy.allocate(1.0, 3)
+        assert eps[0] > eps[1]
+        assert eps.sum() == pytest.approx(1.0)
+
+    def test_temperature_zero_is_uniform(self):
+        strategy = SignalProportionalAllocation(
+            np.array([0.9, 0.1]), temperature=0.0
+        )
+        eps = strategy.allocate(1.0, 2)
+        np.testing.assert_allclose(eps, 0.5, rtol=1e-6)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            SignalProportionalAllocation(np.ones(2), temperature=-1.0)
+
+
+class TestAllocatedRun:
+    def test_uniform_matches_plain_pipeline_statistically(self, rng):
+        data = rng.uniform(-1, 1, size=(4000, 5))
+        theta, eps = allocated_pipeline_run(
+            LaplaceMechanism(), data, 5.0, UniformAllocation(), rng=rng
+        )
+        np.testing.assert_allclose(eps, 1.0)
+        np.testing.assert_allclose(theta, data.mean(axis=0), atol=0.2)
+
+    def test_weighted_improves_prioritized_dimensions(self, rng):
+        # Concentrating budget on the first dimensions must shrink their
+        # error relative to uniform allocation.
+        d, n, eps = 10, 3000, 1.0
+        data = rng.uniform(-1, 1, size=(n, d))
+        weights = np.array([10.0] * 2 + [1.0] * (d - 2))
+        repeats = 12
+        err_uniform = np.zeros(2)
+        err_weighted = np.zeros(2)
+        for _ in range(repeats):
+            theta_u, _ = allocated_pipeline_run(
+                LaplaceMechanism(), data, eps, UniformAllocation(), rng=rng
+            )
+            theta_w, _ = allocated_pipeline_run(
+                LaplaceMechanism(), data, eps, WeightedAllocation(weights), rng=rng
+            )
+            err_uniform += (theta_u[:2] - data.mean(axis=0)[:2]) ** 2
+            err_weighted += (theta_w[:2] - data.mean(axis=0)[:2]) ** 2
+        assert err_weighted.sum() < err_uniform.sum()
+
+    def test_bounded_mechanism_supported(self, rng):
+        data = rng.uniform(-1, 1, size=(2000, 3))
+        theta, _ = allocated_pipeline_run(
+            PiecewiseMechanism(), data, 6.0, rng=rng
+        )
+        np.testing.assert_allclose(theta, data.mean(axis=0), atol=0.2)
+
+    def test_matrix_required(self, rng):
+        with pytest.raises(DimensionError):
+            allocated_pipeline_run(LaplaceMechanism(), np.zeros(4), 1.0, rng=rng)
+
+
+@given(
+    eps=st.floats(min_value=0.1, max_value=10),
+    weights=st.lists(
+        st.floats(min_value=0, max_value=100), min_size=1, max_size=16
+    ).filter(lambda w: sum(w) > 0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_composition_always_holds(eps, weights):
+    """Any weighted allocation sums to the collective budget (ε-LDP)."""
+    allocation = WeightedAllocation(np.array(weights))
+    shares = allocation.allocate(eps, len(weights))
+    assert shares.sum() == pytest.approx(eps)
+    assert np.all(shares > 0)

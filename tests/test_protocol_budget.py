@@ -1,0 +1,73 @@
+"""Tests for the budget plan arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DimensionError, PrivacyBudgetError
+from repro.protocol import BudgetPlan
+
+
+class TestValidation:
+    def test_basic_plan(self):
+        plan = BudgetPlan(epsilon=1.0, dimensions=10, sampled_dimensions=5)
+        assert plan.epsilon_per_dimension == pytest.approx(0.2)
+        assert plan.epsilon_per_entry == pytest.approx(0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            BudgetPlan(epsilon=0.0, dimensions=10, sampled_dimensions=5)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DimensionError):
+            BudgetPlan(epsilon=1.0, dimensions=0, sampled_dimensions=1)
+
+    def test_m_cannot_exceed_d(self):
+        with pytest.raises(DimensionError):
+            BudgetPlan(epsilon=1.0, dimensions=4, sampled_dimensions=5)
+
+    def test_m_at_least_one(self):
+        with pytest.raises(DimensionError):
+            BudgetPlan(epsilon=1.0, dimensions=4, sampled_dimensions=0)
+
+
+class TestReports:
+    def test_expected_reports_formula(self):
+        # r = n m / d (paper Section III-B).
+        plan = BudgetPlan(epsilon=1.0, dimensions=100, sampled_dimensions=10)
+        assert plan.expected_reports(10_000) == 1_000
+
+    def test_full_reporting(self):
+        plan = BudgetPlan(epsilon=1.0, dimensions=50, sampled_dimensions=50)
+        assert plan.expected_reports(777) == 777
+
+    def test_floored_at_one(self):
+        plan = BudgetPlan(epsilon=1.0, dimensions=1000, sampled_dimensions=1)
+        assert plan.expected_reports(10) == 1
+
+    def test_invalid_users(self):
+        plan = BudgetPlan(epsilon=1.0, dimensions=10, sampled_dimensions=10)
+        with pytest.raises(PrivacyBudgetError):
+            plan.expected_reports(0)
+
+    def test_scaled_keeps_shape(self):
+        plan = BudgetPlan(epsilon=1.0, dimensions=10, sampled_dimensions=4)
+        scaled = plan.scaled(2.0)
+        assert scaled.epsilon == 2.0
+        assert scaled.dimensions == 10
+        assert scaled.sampled_dimensions == 4
+
+
+@given(
+    eps=st.floats(min_value=0.01, max_value=100),
+    d=st.integers(min_value=1, max_value=5000),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_budget_composition(eps, d, data):
+    """The per-dimension budgets always recompose to the collective eps."""
+    m = data.draw(st.integers(min_value=1, max_value=d))
+    plan = BudgetPlan(epsilon=eps, dimensions=d, sampled_dimensions=m)
+    assert plan.epsilon_per_dimension * m == pytest.approx(eps)
+    assert plan.epsilon_per_entry * 2 * m == pytest.approx(eps)

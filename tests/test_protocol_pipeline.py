@@ -1,0 +1,178 @@
+"""Tests for the vectorized end-to-end pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import mse, true_mean
+from repro.exceptions import DimensionError
+from repro.framework import ValueDistribution
+from repro.hdr4me import Recalibrator
+from repro.mechanisms import LaplaceMechanism, PiecewiseMechanism, get_mechanism
+from repro.protocol import (
+    FrequencyEstimationPipeline,
+    MeanEstimationPipeline,
+    build_populations,
+)
+
+
+class TestMeanPipeline:
+    def test_full_reporting_counts(self, rng):
+        data = rng.uniform(-1, 1, size=(500, 6))
+        pipeline = MeanEstimationPipeline(LaplaceMechanism(), 1.0, dimensions=6)
+        result = pipeline.run(data, rng)
+        assert np.all(result.aggregation.report_counts == 500)
+        assert result.users == 500
+
+    def test_sampled_reporting_counts(self, rng):
+        data = rng.uniform(-1, 1, size=(4000, 10))
+        pipeline = MeanEstimationPipeline(
+            LaplaceMechanism(), 1.0, dimensions=10, sampled_dimensions=3
+        )
+        result = pipeline.run(data, rng)
+        counts = result.aggregation.report_counts
+        assert counts.sum() == 4000 * 3
+        expected = 4000 * 3 / 10
+        assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))
+
+    def test_recovers_mean_large_budget(self, rng):
+        data = rng.uniform(-1, 1, size=(20_000, 5))
+        pipeline = MeanEstimationPipeline(PiecewiseMechanism(), 20.0, dimensions=5)
+        result = pipeline.run(data, rng)
+        np.testing.assert_allclose(
+            result.theta_hat, true_mean(data), atol=0.05
+        )
+
+    def test_chunking_invariance(self):
+        data = np.random.default_rng(3).uniform(-1, 1, size=(1000, 4))
+        small = MeanEstimationPipeline(
+            LaplaceMechanism(), 1.0, dimensions=4, chunk_size=64
+        ).run(data, rng=7)
+        big = MeanEstimationPipeline(
+            LaplaceMechanism(), 1.0, dimensions=4, chunk_size=100_000
+        ).run(data, rng=7)
+        # Different chunking consumes randomness differently, so compare
+        # statistically rather than exactly.
+        assert mse(small.theta_hat, big.theta_hat) < 1.0
+
+    def test_shape_validation(self, rng):
+        pipeline = MeanEstimationPipeline(LaplaceMechanism(), 1.0, dimensions=4)
+        with pytest.raises(DimensionError):
+            pipeline.run(rng.uniform(-1, 1, size=(10, 5)), rng)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(DimensionError):
+            MeanEstimationPipeline(
+                LaplaceMechanism(), 1.0, dimensions=4, chunk_size=0
+            )
+
+    def test_mask_has_exactly_m_per_row(self, rng):
+        pipeline = MeanEstimationPipeline(
+            LaplaceMechanism(), 1.0, dimensions=12, sampled_dimensions=5
+        )
+        mask = pipeline._sample_mask(200, rng)
+        np.testing.assert_array_equal(mask.sum(axis=1), np.full(200, 5))
+
+    def test_matches_reference_client_distribution(self, rng):
+        """The vectorized path agrees with the per-user reference Client."""
+        from repro.protocol import Aggregator, BudgetPlan, Client
+
+        data = np.tile(np.array([-0.4, 0.1, 0.7]), (30_000, 1))
+        mech = PiecewiseMechanism()
+        pipeline = MeanEstimationPipeline(
+            mech, 2.0, dimensions=3, sampled_dimensions=2
+        )
+        fast = pipeline.run(data, rng)
+
+        plan = BudgetPlan(epsilon=2.0, dimensions=3, sampled_dimensions=2)
+        client = Client(mech, plan)
+        agg = Aggregator(mech, plan)
+        for row in data[:30_000]:
+            agg.add_report(client.report(row, rng))
+        slow = agg.aggregate()
+        np.testing.assert_allclose(fast.theta_hat, slow.theta_hat, atol=0.05)
+
+
+class TestDeviationModelBridge:
+    def test_unbounded_needs_no_population(self, rng):
+        pipeline = MeanEstimationPipeline(LaplaceMechanism(), 1.0, dimensions=6)
+        model = pipeline.deviation_model(users=1000)
+        assert model.ndim == 6
+
+    def test_bounded_from_data(self, rng):
+        data = rng.uniform(-1, 1, size=(2000, 4))
+        pipeline = MeanEstimationPipeline(PiecewiseMechanism(), 1.0, dimensions=4)
+        model = pipeline.deviation_model(users=2000, data=data)
+        assert model.ndim == 4
+        assert np.all(model.sigmas > 0)
+
+    def test_bounded_from_shared_population(self):
+        pipeline = MeanEstimationPipeline(PiecewiseMechanism(), 1.0, dimensions=3)
+        model = pipeline.deviation_model(
+            users=500, populations=ValueDistribution.point_mass(0.0)
+        )
+        assert np.allclose(model.sigmas, model.sigmas[0])
+
+    def test_reports_scale_with_m(self):
+        full = MeanEstimationPipeline(LaplaceMechanism(), 1.0, dimensions=10)
+        sampled = MeanEstimationPipeline(
+            LaplaceMechanism(), 1.0, dimensions=10, sampled_dimensions=5
+        )
+        # Same collective budget: sampling halves reports but doubles the
+        # per-dimension budget, so the sigmas differ accordingly.
+        model_full = full.deviation_model(users=1000)
+        model_sampled = sampled.deviation_model(users=1000)
+        assert model_sampled.sigmas[0] != model_full.sigmas[0]
+
+    def test_build_populations_validates(self):
+        with pytest.raises(DimensionError):
+            build_populations(np.zeros(5))
+
+    def test_run_enhanced_convenience(self, rng):
+        data = rng.uniform(-1, 1, size=(3000, 50))
+        pipeline = MeanEstimationPipeline(LaplaceMechanism(), 0.2, dimensions=50)
+        result = pipeline.run_enhanced(data, Recalibrator(norm="l1"), rng)
+        baseline = pipeline.run(data, rng)
+        assert mse(result.theta_star, true_mean(data)) < mse(
+            baseline.theta_hat, true_mean(data)
+        )
+
+
+class TestFrequencyPipeline:
+    def test_multi_dimension_estimates(self, rng):
+        labels = rng.integers(0, 4, size=(20_000, 3))
+        pipeline = FrequencyEstimationPipeline(
+            get_mechanism("piecewise"), epsilon=8.0, category_counts=[4, 4, 4]
+        )
+        estimates = pipeline.run(labels, rng)
+        assert len(estimates) == 3
+        for j, estimate in enumerate(estimates):
+            truth = np.bincount(labels[:, j], minlength=4) / labels.shape[0]
+            np.testing.assert_allclose(estimate.best(), truth, atol=0.08)
+
+    def test_sampled_dimensions_reduce_reports(self, rng):
+        labels = rng.integers(0, 3, size=(9000, 3))
+        pipeline = FrequencyEstimationPipeline(
+            get_mechanism("laplace"),
+            epsilon=2.0,
+            category_counts=[3, 3, 3],
+            sampled_dimensions=1,
+        )
+        estimates = pipeline.run(labels, rng)
+        for estimate in estimates:
+            assert estimate.reports < 9000
+            assert estimate.reports == pytest.approx(3000, rel=0.2)
+
+    def test_label_shape_validated(self, rng):
+        pipeline = FrequencyEstimationPipeline(
+            get_mechanism("laplace"), epsilon=1.0, category_counts=[3, 3]
+        )
+        with pytest.raises(DimensionError):
+            pipeline.run(np.zeros((10, 3), dtype=int), rng)
+
+    def test_empty_category_counts_rejected(self):
+        with pytest.raises(DimensionError):
+            FrequencyEstimationPipeline(
+                get_mechanism("laplace"), epsilon=1.0, category_counts=[]
+            )

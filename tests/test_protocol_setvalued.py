@@ -1,0 +1,126 @@
+"""Tests for padding-and-sampling set-valued collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, DomainError
+from repro.hdr4me import Recalibrator
+from repro.protocol import PaddingAndSampling, item_frequencies
+
+
+def _make_sets(rng, users, n_items, max_size, popular=None):
+    sets = []
+    for _ in range(users):
+        size = int(rng.integers(1, max_size + 1))
+        items = list(rng.choice(n_items, size=size, replace=False))
+        if popular is not None and rng.random() < 0.5:
+            items.append(popular)
+        sets.append(items)
+    return sets
+
+
+class TestGroundTruth:
+    def test_item_frequencies_dedupes(self):
+        freq = item_frequencies([[0, 0, 1], [1]], 3)
+        np.testing.assert_allclose(freq, [0.5, 1.0, 0.0])
+
+    def test_empty_user_set_ok(self):
+        freq = item_frequencies([[], [0]], 2)
+        np.testing.assert_allclose(freq, [0.5, 0.0])
+
+
+class TestSampling:
+    def test_labels_in_extended_domain(self, rng):
+        ps = PaddingAndSampling(epsilon=2.0, n_items=10, padding_length=3)
+        sets = _make_sets(rng, 500, 10, 3)
+        labels = ps.sample_items(sets, rng)
+        assert labels.min() >= 0
+        assert labels.max() < 10 + 3
+
+    def test_singleton_sets_sampled_at_rate_one_over_l(self, rng):
+        # A set {7} padded to L: item 7 is reported with prob 1/L.
+        ps = PaddingAndSampling(epsilon=2.0, n_items=10, padding_length=4)
+        sets = [[7]] * 20_000
+        labels = ps.sample_items(sets, rng)
+        assert np.mean(labels == 7) == pytest.approx(0.25, abs=0.01)
+
+    def test_oversized_sets_truncated(self, rng):
+        ps = PaddingAndSampling(epsilon=2.0, n_items=10, padding_length=2)
+        labels = ps.sample_items([list(range(10))] * 100, rng)
+        # Every slot holds a real item (set size exceeds L), none dummy.
+        assert labels.max() < 10
+
+    def test_item_domain_validated(self, rng):
+        ps = PaddingAndSampling(epsilon=2.0, n_items=5, padding_length=2)
+        with pytest.raises(DomainError):
+            ps.sample_items([[5]], rng)
+
+    def test_configuration_validated(self):
+        with pytest.raises(DimensionError):
+            PaddingAndSampling(epsilon=1.0, n_items=0, padding_length=2)
+        with pytest.raises(DimensionError):
+            PaddingAndSampling(epsilon=1.0, n_items=5, padding_length=0)
+
+
+class TestEstimation:
+    def test_recovers_frequencies(self, rng):
+        n_items, users = 16, 40_000
+        sets = _make_sets(rng, users, n_items, 3)
+        truth = item_frequencies(sets, n_items)
+        ps = PaddingAndSampling(epsilon=3.0, n_items=n_items, padding_length=4)
+        estimate = ps.run(sets, rng)
+        np.testing.assert_allclose(estimate.best(), truth, atol=0.05)
+
+    def test_popular_item_detected(self, rng):
+        n_items = 12
+        sets = _make_sets(rng, 30_000, n_items, 2, popular=5)
+        truth = item_frequencies(sets, n_items)
+        ps = PaddingAndSampling(epsilon=3.0, n_items=n_items, padding_length=3)
+        estimate = ps.run(sets, rng)
+        assert np.argmax(estimate.best()) == np.argmax(truth) == 5
+
+    def test_oue_backend(self, rng):
+        sets = _make_sets(rng, 20_000, 32, 3)
+        ps = PaddingAndSampling(
+            epsilon=2.0, n_items=32, padding_length=4, oracle="oue"
+        )
+        estimate = ps.run(sets, rng)
+        truth = item_frequencies(sets, 32)
+        np.testing.assert_allclose(estimate.best(), truth, atol=0.08)
+
+    def test_with_recalibration(self, rng):
+        sets = _make_sets(rng, 20_000, 16, 3)
+        ps = PaddingAndSampling(
+            epsilon=2.0,
+            n_items=16,
+            padding_length=4,
+            recalibrator=Recalibrator(norm="l2"),
+        )
+        estimate = ps.run(sets, rng)
+        assert estimate.enhanced is not None
+        assert np.all(
+            np.abs(estimate.enhanced) <= np.abs(estimate.frequencies) + 1e-12
+        )
+
+    def test_empty_input_rejected(self, rng):
+        ps = PaddingAndSampling(epsilon=1.0, n_items=4, padding_length=2)
+        with pytest.raises(DimensionError):
+            ps.run([], rng)
+
+    def test_truncation_bias_shrinks_with_padding(self, rng):
+        # Large sets + tiny L -> truncation underestimates; growing L
+        # toward the true set size removes the bias.
+        n_items, users = 10, 40_000
+        sets = [list(rng.choice(n_items, size=5, replace=False))
+                for _ in range(users)]
+        truth = item_frequencies(sets, n_items)
+        errors = {}
+        for padding in (1, 5):
+            ps = PaddingAndSampling(
+                epsilon=4.0, n_items=n_items, padding_length=padding
+            )
+            estimate = ps.run(sets, rng)
+            errors[padding] = np.abs(estimate.best() - truth).mean()
+        assert errors[5] < errors[1]

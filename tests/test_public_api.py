@@ -1,0 +1,90 @@
+"""Sanity tests of the public package surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.framework",
+    "repro.hdr4me",
+    "repro.mechanisms",
+    "repro.protocol",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackage_imports(self, module):
+        importlib.import_module(module)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", ()):
+            assert hasattr(mod, name), "%s.%s" % (module, name)
+
+    def test_exceptions_form_hierarchy(self):
+        from repro import (
+            AggregationError,
+            CalibrationError,
+            DimensionError,
+            DistributionError,
+            DomainError,
+            PrivacyBudgetError,
+            ReproError,
+        )
+
+        for exc in (
+            AggregationError,
+            CalibrationError,
+            DimensionError,
+            DistributionError,
+            DomainError,
+            PrivacyBudgetError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_quickstart_docstring_runs(self):
+        """The usage example in the package docstring must stay valid."""
+        from repro import (
+            MeanEstimationPipeline,
+            Recalibrator,
+            gaussian_dataset,
+            get_mechanism,
+            mse,
+            true_mean,
+        )
+
+        data = gaussian_dataset(users=2_000, dimensions=20, rng=0)
+        pipeline = MeanEstimationPipeline(
+            get_mechanism("piecewise"), epsilon=0.5, dimensions=20
+        )
+        result = pipeline.run(data, rng=1)
+        model = pipeline.deviation_model(users=result.users, data=data)
+        enhanced = Recalibrator(norm="l1").recalibrate(result.theta_hat, model)
+        assert mse(enhanced.theta_star, true_mean(data)) <= mse(
+            result.theta_hat, true_mean(data)
+        )
+
+    def test_public_items_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, undocumented

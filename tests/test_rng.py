@@ -1,0 +1,64 @@
+"""Tests for the RNG plumbing in :mod:`repro.rng`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_rng, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(8)
+        b = ensure_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+
+class TestSpawnChildren:
+    def test_yields_requested_count(self):
+        children = list(spawn_children(0, 5))
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_children(0, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_reproducible_from_seed(self):
+        first = [g.random(4).tolist() for g in spawn_children(9, 3)]
+        second = [g.random(4).tolist() for g in spawn_children(9, 3)]
+        assert first == second
+
+    def test_zero_count_is_empty(self):
+        assert list(spawn_children(0, 0)) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            list(spawn_children(0, -1))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5) == derive_seed(5)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, salt=1) != derive_seed(5, salt=2)
+
+    def test_range(self):
+        seed = derive_seed(123)
+        assert 0 <= seed < 2**63
