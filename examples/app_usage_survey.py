@@ -1,77 +1,86 @@
 """Private categorical survey: frequency estimation with HDR4ME (V-C).
 
 A mobile vendor surveys which of 64 app categories is each user's most
-used, under ε-LDP. Categorical answers are histogram-encoded (Section
-V-C): each one-hot entry is perturbed with budget ε/2, entry means become
-category frequencies, and HDR4ME can re-calibrate the frequency vector
-exactly like a mean.
+used, under ε-LDP, through the session API. The single unified registry
+lets the same survey run over every backend — numeric mechanisms via
+histogram encoding (Section V-C: each one-hot entry perturbed with ε/2,
+entry means calibrated back into frequencies) *and* the Wang et al.
+frequency oracles (GRR/OUE/OLH) — so the vendor can pick the backend
+empirically.
 
-The example compares three mechanisms, with and without L2 re-calibration,
-against the true (non-private) frequencies, and also demonstrates the
-multi-attribute pipeline (several categorical questions per user).
+The example compares the backends with and without L2 re-calibration
+against the true (non-private) frequencies, then demonstrates a
+multi-question survey (three categorical attributes, each user answers
+m = 1) with streaming ingestion.
 
 Run:  python examples/app_usage_survey.py
 """
 
 import numpy as np
 
-from repro import FrequencyEstimator, Recalibrator, get_mechanism
+from repro import CategoricalAttribute, LDPClient, LDPServer, Recalibrator, Schema
 from repro.experiments import zipf_categories
-from repro.hdr4me import true_frequencies
-from repro.protocol import FrequencyEstimationPipeline
+from repro.hdr4me import postprocess_frequencies, true_frequencies
 
 USERS, CATEGORIES, EPSILON, SEED = 60_000, 64, 1.0, 3
 
 
 def frequency_mse(estimate: np.ndarray, truth: np.ndarray) -> float:
-    return float(np.mean((estimate - truth) ** 2))
+    # Clip to [0, 1] and renormalize before scoring, so every backend and
+    # every recalibration variant is compared on a proper distribution.
+    final = postprocess_frequencies(estimate, normalize=True)
+    return float(np.mean((final - truth) ** 2))
 
 
 def main() -> None:
     # Zipf-like popularity: a few dominant categories, a long tail.
     answers = zipf_categories(USERS, CATEGORIES, exponent=1.3, rng=SEED)
     truth = true_frequencies(answers, CATEGORIES)
+    schema = Schema([CategoricalAttribute("top_app", n_categories=CATEGORIES)])
 
-    print("single attribute, %d categories, eps=%g:" % (CATEGORIES, EPSILON))
-    for name in ("laplace", "piecewise", "square_wave"):
-        plain = FrequencyEstimator(get_mechanism(name), EPSILON)
-        enhanced = FrequencyEstimator(
-            get_mechanism(name),
-            EPSILON,
-            recalibrator=Recalibrator(norm="l2"),
-        )
-        est_plain = plain.estimate(answers, CATEGORIES, rng=SEED + 1)
-        est_enh = enhanced.estimate(answers, CATEGORIES, rng=SEED + 1)
+    print("single question, %d categories, eps=%g:" % (CATEGORIES, EPSILON))
+    for backend in ("laplace", "piecewise", "square_wave", "grr", "oue", "olh"):
+        client = LDPClient(schema, EPSILON, protocols=backend)
+        server = LDPServer(schema, EPSILON, protocols=backend)
+        server.ingest(client.report_batch(answers[:, None], rng=SEED + 1))
+        # Same reports, two readings: re-calibration composes at estimate
+        # time instead of being baked into the collection.
+        est_plain = server.estimate()
+        est_enh = server.estimate(postprocess=Recalibrator(norm="l2"))
         print(
             "  %-12s raw MSE %.2e | L2-recalibrated MSE %.2e"
             % (
-                name,
-                frequency_mse(est_plain.best(), truth),
-                frequency_mse(est_enh.best(), truth),
+                backend,
+                frequency_mse(est_plain.frequencies("top_app"), truth),
+                frequency_mse(est_enh.frequencies("top_app"), truth),
             )
         )
 
-    # Multi-attribute survey: 3 questions, each user answers m = 1.
+    # Multi-question survey: 3 questions, each user answers m = 1, and the
+    # reports arrive in 6 streamed batches.
     questions = np.column_stack(
         [
             zipf_categories(USERS, 16, exponent=1.1, rng=SEED + q)
             for q in range(3)
         ]
     )
-    pipeline = FrequencyEstimationPipeline(
-        get_mechanism("piecewise"),
-        epsilon=EPSILON,
-        category_counts=[16, 16, 16],
-        sampled_dimensions=1,
+    survey = Schema(
+        [CategoricalAttribute("q%d" % q, n_categories=16) for q in range(3)]
     )
-    estimates = pipeline.run(questions, rng=SEED + 9)
+    client = LDPClient(survey, EPSILON, sampled_attributes=1, protocols="piecewise")
+    server = LDPServer(survey, EPSILON, sampled_attributes=1, protocols="piecewise")
+    rng = np.random.default_rng(SEED + 9)
+    for batch in np.array_split(questions, 6):
+        server.ingest(client.report_batch(batch, rng))
+    estimate = server.estimate()
     print()
     print("three questions, each user answers one (m=1):")
-    for q, estimate in enumerate(estimates):
+    for q in range(3):
         q_truth = true_frequencies(questions[:, q], 16)
+        attr = estimate["q%d" % q]
         print(
             "  question %d: %d respondents, MSE %.2e"
-            % (q, estimate.reports, frequency_mse(estimate.best(), q_truth))
+            % (q, attr.reports, frequency_mse(attr.value, q_truth))
         )
 
 

@@ -1,58 +1,83 @@
-"""Quickstart: private mean estimation with and without HDR4ME.
+"""Quickstart: private collection of a mixed record with and without HDR4ME.
 
-Simulates the paper's end-to-end flow on a sparse-signal Gaussian dataset:
+Demonstrates the canonical session API end to end:
 
-1. every user perturbs her tuple locally (Piecewise mechanism, ε = 0.5
-   split over 100 dimensions — the "diluted budget" regime);
-2. the collector aggregates the noisy reports into θ̂;
-3. the analytical framework (Section IV) models the deviation θ̂ − θ̄;
-4. HDR4ME (Section V) re-calibrates θ̂ with L1 and L2 regularization.
+1. declare a typed ``Schema`` — numeric attributes (mean estimation) and
+   a categorical attribute (frequency estimation) in one record;
+2. an ``LDPClient`` perturbs whole records locally, sampling attributes
+   under a single collective budget ε (nothing raw ever leaves a user);
+3. an ``LDPServer`` ingests report batches *incrementally*, the way real
+   telemetry arrives, and estimates on demand mid-stream;
+4. HDR4ME (Section V of the paper) re-calibrates as a composable
+   ``estimate(postprocess=...)`` step — no change to clients or reports.
 
 Run:  python examples/quickstart.py
 """
 
+import numpy as np
+
 from repro import (
-    MeanEstimationPipeline,
+    CategoricalAttribute,
+    LDPClient,
+    LDPServer,
+    NumericAttribute,
     Recalibrator,
+    Schema,
     gaussian_dataset,
-    get_mechanism,
     mse,
     true_mean,
 )
+from repro.experiments import zipf_categories
+from repro.hdr4me import true_frequencies
 
-USERS, DIMENSIONS, EPSILON, SEED = 50_000, 100, 0.5, 0
+USERS, NUMERIC_DIMS, CATEGORIES, EPSILON, SEED = 50_000, 40, 16, 2.0, 0
+BATCHES = 10
 
 
 def main() -> None:
-    # A dataset where 10% of dimensions carry signal (mean 0.9) and the
-    # rest are near zero — the paper's Gaussian dataset.
-    data = gaussian_dataset(users=USERS, dimensions=DIMENSIONS, rng=SEED)
-    truth = true_mean(data)
+    # A mixed record: 40 numeric channels where 10% carry signal (the
+    # paper's sparse Gaussian dataset) plus one Zipf-popular category.
+    numeric = gaussian_dataset(users=USERS, dimensions=NUMERIC_DIMS, rng=SEED)
+    labels = zipf_categories(USERS, CATEGORIES, rng=SEED + 1)
+    records = np.column_stack([numeric, labels])
+    truth_mean = true_mean(numeric)
+    truth_freq = true_frequencies(labels, CATEGORIES)
 
-    mechanism = get_mechanism("piecewise")
-    pipeline = MeanEstimationPipeline(mechanism, EPSILON, dimensions=DIMENSIONS)
+    schema = Schema(
+        [NumericAttribute("ch%02d" % j) for j in range(NUMERIC_DIMS)]
+        + [CategoricalAttribute("category", n_categories=CATEGORIES)]
+    )
+    # One registry resolves every backend: numeric mechanisms serve both
+    # attribute kinds; "grr"/"oue"/"olh" would serve the categorical one.
+    client = LDPClient(schema, EPSILON, protocols={"category": "oue"})
+    server = LDPServer(schema, EPSILON, protocols={"category": "oue"})
 
-    # 1-2: local perturbation + aggregation.
-    result = pipeline.run(data, rng=SEED + 1)
-    print("collected %d reports per dimension" % result.aggregation.min_reports)
-    print("baseline MSE: %.4f" % mse(result.theta_hat, truth))
-
-    # 3: the Theorem 1 deviation model for this exact configuration.
-    model = pipeline.deviation_model(users=result.users, data=data)
+    # 1-2: reports stream in; aggregation state stays O(d).
+    rng = np.random.default_rng(SEED + 2)
+    for batch in np.array_split(records, BATCHES):
+        server.ingest(client.report_batch(batch, rng))
     print(
-        "framework predicts per-dimension deviation sigma ~ %.3f "
-        "and MSE ~ %.4f" % (model.sigmas.mean(), model.predicted_mse())
+        "ingested %d users in %d batches (%d reports/user)"
+        % (server.users, BATCHES, server.plan.sampled_dimensions)
     )
 
-    # 4: one-off re-calibration — no change to the mechanism or the users.
+    # 3: estimates on demand — raw aggregation first.
+    raw = server.estimate()
+    print("numeric mean MSE (raw):    %.5f" % mse(raw.numeric_means(), truth_mean))
+    print(
+        "category freq MSE (raw):   %.2e"
+        % mse(raw.frequencies("category"), truth_freq)
+    )
+
+    # 4: HDR4ME as composable post-processing over the same reports.
     for norm in ("l1", "l2"):
-        enhanced = Recalibrator(norm=norm).recalibrate(result.theta_hat, model)
+        enhanced = server.estimate(postprocess=Recalibrator(norm=norm))
         print(
-            "HDR4ME-%s MSE: %.4f  (improvement guarantee holds w.p. >= %.3f)"
+            "numeric mean MSE (HDR4ME-%s): %.5f | category freq MSE: %.2e"
             % (
                 norm.upper(),
-                mse(enhanced.theta_star, truth),
-                enhanced.guarantee.paper_bound,
+                mse(enhanced.numeric_means(), truth_mean),
+                mse(enhanced.frequencies("category"), truth_freq),
             )
         )
 

@@ -1,10 +1,11 @@
 """repro — reproduction of "Utility Analysis and Enhancement of LDP
 Mechanisms in High-Dimensional Space" (Duan, Ye, Hu; ICDE 2022).
 
-The library has three layers:
+The library has four layers:
 
 1. **Substrates** — :mod:`repro.mechanisms` (six LDP mechanisms),
-   :mod:`repro.protocol` (the sampling/aggregation protocol),
+   :mod:`repro.freq_oracles` (the Wang et al. GRR/OUE/OLH oracles),
+   :mod:`repro.protocol` (budget accounting and the legacy pipelines),
    :mod:`repro.datasets` (Section VI data generators) and
    :mod:`repro.analysis` (utility metrics and density diagnostics).
 2. **The paper's contributions** — :mod:`repro.framework` (the Section IV
@@ -12,25 +13,46 @@ The library has three layers:
    benchmarking) and :mod:`repro.hdr4me` (the Section V HDR4ME
    re-calibration protocol with L1/L2 regularization and the frequency
    extension).
-3. **Reproduction harness** — :mod:`repro.experiments` (one driver per
+3. **The session API** — :mod:`repro.session`, the canonical client/server
+   collection surface: typed :class:`Schema` records (numeric and
+   categorical attributes mixed freely), an :class:`LDPClient` that
+   perturbs whole records under one budget plan, an :class:`LDPServer`
+   with incremental streaming ``ingest``/``estimate``, and a unified
+   registry (:func:`get_protocol`) that resolves numeric mechanisms and
+   frequency oracles interchangeably.
+4. **Reproduction harness** — :mod:`repro.experiments` (one driver per
    table/figure plus a CLI).
 
 Quickstart::
 
     import numpy as np
     from repro import (
-        MeanEstimationPipeline, Recalibrator, get_mechanism,
-        gaussian_dataset, true_mean, mse,
+        CategoricalAttribute, LDPClient, LDPServer, NumericAttribute,
+        Recalibrator, Schema,
     )
 
-    data = gaussian_dataset(users=20_000, dimensions=100, rng=0)
-    pipeline = MeanEstimationPipeline(get_mechanism("piecewise"),
-                                      epsilon=0.5, dimensions=100)
-    result = pipeline.run(data, rng=1)
-    model = pipeline.deviation_model(users=result.users, data=data)
-    enhanced = Recalibrator(norm="l1").recalibrate(result.theta_hat, model)
-    print(mse(result.theta_hat, true_mean(data)),
-          mse(enhanced.theta_star, true_mean(data)))
+    schema = Schema([
+        NumericAttribute("screen_time"),            # values in [-1, 1]
+        CategoricalAttribute("top_app", n_categories=16),
+    ])
+    client = LDPClient(schema, epsilon=1.0, protocols="piecewise")
+    server = LDPServer(schema, epsilon=1.0, protocols="piecewise")
+
+    rng = np.random.default_rng(0)
+    records = np.column_stack([
+        rng.uniform(-1, 1, 50_000),
+        rng.integers(0, 16, 50_000),
+    ])
+    for batch in np.array_split(records, 10):       # reports stream in
+        server.ingest(client.report_batch(batch, rng))
+
+    estimate = server.estimate(postprocess=Recalibrator(norm="l1"))
+    print(estimate["screen_time"].scalar)           # private mean
+    print(estimate.frequencies("top_app"))          # private frequencies
+
+The pre-session entry points (:class:`MeanEstimationPipeline`,
+:class:`FrequencyEstimationPipeline`, :class:`FrequencyEstimator`) remain
+as thin facades over the session layer.
 """
 
 from .analysis import (
@@ -62,6 +84,14 @@ from .framework import (
     build_multivariate_model,
     convergence_curve,
 )
+from .freq_oracles import (
+    FrequencyOracle,
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+    available_oracles,
+    get_oracle,
+)
 from .hdr4me import (
     FrequencyEstimator,
     ProximalGradientSolver,
@@ -79,8 +109,11 @@ from .mechanisms import (
     SquareWaveMechanism,
     StaircaseMechanism,
     available_mechanisms,
+    available_protocols,
     get_mechanism,
+    get_protocol,
     register_mechanism,
+    register_protocol,
 )
 from .protocol import (
     Aggregator,
@@ -88,6 +121,17 @@ from .protocol import (
     Client,
     FrequencyEstimationPipeline,
     MeanEstimationPipeline,
+)
+from .session import (
+    AttributeEstimate,
+    CategoricalAttribute,
+    CollectionProtocol,
+    LDPClient,
+    LDPServer,
+    NumericAttribute,
+    ReportBatch,
+    Schema,
+    SessionEstimate,
 )
 from .datasets import (
     available_datasets,
@@ -104,10 +148,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregationError",
     "Aggregator",
+    "AttributeEstimate",
     "BerryEsseenBound",
     "BudgetPlan",
     "CalibrationError",
+    "CategoricalAttribute",
     "Client",
+    "CollectionProtocol",
     "DeviationModel",
     "DimensionError",
     "DistributionError",
@@ -115,23 +162,35 @@ __all__ = [
     "DuchiMechanism",
     "FrequencyEstimationPipeline",
     "FrequencyEstimator",
+    "FrequencyOracle",
+    "GeneralizedRandomizedResponse",
     "HybridMechanism",
+    "LDPClient",
+    "LDPServer",
     "LaplaceMechanism",
     "MeanEstimationPipeline",
     "Mechanism",
     "MultivariateDeviationModel",
+    "NumericAttribute",
+    "OptimizedLocalHashing",
+    "OptimizedUnaryEncoding",
     "PiecewiseMechanism",
     "PrivacyBudgetError",
     "ProximalGradientSolver",
     "RecalibrationResult",
     "Recalibrator",
+    "ReportBatch",
     "ReproError",
+    "Schema",
+    "SessionEstimate",
     "SquareWaveMechanism",
     "StaircaseMechanism",
     "UtilityReport",
     "ValueDistribution",
     "available_datasets",
     "available_mechanisms",
+    "available_oracles",
+    "available_protocols",
     "benchmark_mechanisms",
     "berry_esseen_bound",
     "build_deviation_model",
@@ -142,6 +201,8 @@ __all__ = [
     "gaussian_dataset",
     "gaussian_fit",
     "get_mechanism",
+    "get_oracle",
+    "get_protocol",
     "l2_deviation",
     "load_dataset",
     "max_abs_deviation",
@@ -151,6 +212,7 @@ __all__ = [
     "recalibrate_l1",
     "recalibrate_l2",
     "register_mechanism",
+    "register_protocol",
     "true_mean",
     "uniform_dataset",
     "__version__",

@@ -10,6 +10,7 @@ Fig. 4 (a–l)        :func:`run_mse_sweep` (one call per panel)
 Fig. 5 (a–b)        :func:`run_dimensionality_sweep`
 Theorem 2 example   :func:`worked_example` / :func:`run_convergence`
 V-C extension       :func:`run_frequency_experiment`
+Session API         :func:`run_session_collection` (mixed schema, streaming)
 Ablations           :func:`run_confidence_ablation`,
                     :func:`run_harmful_regime`,
                     :func:`run_solver_equivalence`
@@ -37,6 +38,11 @@ from .case_study import (
     PAPER_TABLE2,
     CaseStudyResult,
     run_case_study,
+)
+from .collection import (
+    COLLECTION_SERIES_LABELS,
+    CollectionExperimentResult,
+    run_session_collection,
 )
 from .clt_validation import (
     CltValidationResult,
@@ -88,8 +94,10 @@ __all__ = [
     "CASE_STUDY_EPSILON_PER_DIM",
     "CASE_STUDY_REPORTS",
     "CASE_STUDY_SUPREMA",
+    "COLLECTION_SERIES_LABELS",
     "CaseStudyResult",
     "CltValidationResult",
+    "CollectionExperimentResult",
     "ConfidenceAblationResult",
     "ConvergenceResult",
     "DimensionalitySweepResult",
@@ -122,6 +130,7 @@ __all__ = [
     "run_harmful_regime",
     "run_mse_prediction",
     "run_mse_sweep",
+    "run_session_collection",
     "run_solver_equivalence",
     "simulate_dimension_deviations",
     "read_series_csv",

@@ -19,6 +19,7 @@ from .ablation import (
 )
 from .case_study import run_case_study
 from .clt_validation import run_fig2, run_fig3
+from .collection import run_session_collection
 from .convergence import run_convergence, worked_example
 from .dimensionality import FIG5_MECHANISMS, run_dimensionality_sweep
 from .frequency_experiment import run_frequency_experiment
@@ -70,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablation", help="HDR4ME design ablations", parents=[common])
     freq = sub.add_parser("frequency", help="Section V-C frequency extension", parents=[common])
     freq.add_argument("--mechanism", default="piecewise")
+    sub.add_parser(
+        "collection",
+        help="mixed-schema streaming collection through the session API",
+        parents=[common],
+    )
     return parser
 
 
@@ -140,6 +146,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             mechanism=args.mechanism, rng=seed, **kwargs
         )
         print(result.format())
+    elif args.artefact == "collection":
+        kwargs = {}
+        if quick:
+            kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
+        print(run_session_collection(rng=seed, **kwargs).format())
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -3,26 +3,27 @@
 The paper generalizes its re-calibration to frequency estimation via
 histogram encoding but tabulates no dedicated experiment; this driver
 provides one. A categorical population with a Zipf-like frequency profile
-is collected under each mechanism with per-entry budget ε/2m, and the MSE
-of the estimated frequency vector (against the exact frequencies) is
-compared with and without HDR4ME re-calibration over a budget grid.
+is collected through the session API (one
+:class:`~repro.session.LDPClient` / :class:`~repro.session.LDPServer`
+pair per run), and the MSE of the estimated frequency vector (against the
+exact frequencies) is compared with and without HDR4ME re-calibration
+over a budget grid. Because re-calibration is a composable
+post-processing step of :meth:`~repro.session.LDPServer.estimate`, all
+three variants read the *same* perturbed reports — the comparison
+isolates the re-calibration exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from ..hdr4me.frequency import (
-    FrequencyEstimator,
-    postprocess_frequencies,
-    true_frequencies,
-)
+from ..hdr4me.frequency import postprocess_frequencies, true_frequencies
 from ..hdr4me.recalibrator import Recalibrator
-from ..mechanisms.registry import get_mechanism
 from ..rng import RngLike, ensure_rng, spawn_children
+from ..session import CategoricalAttribute, LDPClient, LDPServer, Schema
 from .base import SeriesRow, format_series
 
 FREQ_SERIES_LABELS = ("baseline", "l1", "l2")
@@ -73,33 +74,32 @@ def run_frequency_experiment(
 ) -> FrequencyExperimentResult:
     """Compare raw vs HDR4ME-re-calibrated frequency estimation.
 
-    All estimates are post-processed identically (clip to [0, 1] and
-    renormalize) so the comparison isolates the re-calibration itself.
+    ``mechanism`` may be any unified-registry name — a numeric mechanism
+    (histogram-encoding route) or a frequency oracle (``"grr"``/``"oue"``/
+    ``"olh"``). All estimates are post-processed identically (clip to
+    [0, 1] and renormalize) so the comparison isolates the re-calibration
+    itself.
     """
     gen = ensure_rng(rng)
-    mech_name = mechanism
     labels = zipf_categories(users, n_categories, exponent, gen)
     truth = true_frequencies(labels, n_categories)
+    schema = Schema([CategoricalAttribute("value", n_categories=n_categories)])
 
     rows: List[SeriesRow] = []
     for epsilon in epsilons:
         sums = {label: 0.0 for label in FREQ_SERIES_LABELS}
         for child in spawn_children(gen, repeats):
-            seed = int(child.integers(0, 2**62))
+            client = LDPClient(schema, epsilon, protocols=mechanism)
+            server = LDPServer(schema, epsilon, protocols=mechanism)
+            server.ingest(client.report_batch(labels[:, None], child))
+            # One set of reports, three readings: the baseline and both
+            # re-calibrations see identical perturbation.
             for label in FREQ_SERIES_LABELS:
-                recal: Optional[Recalibrator] = None
-                if label != "baseline":
-                    recal = Recalibrator(norm=label)
-                estimator = FrequencyEstimator(
-                    get_mechanism(mech_name),
-                    epsilon,
-                    sampled_dimensions=1,
-                    recalibrator=recal,
+                recal = None if label == "baseline" else Recalibrator(norm=label)
+                estimate = server.estimate(postprocess=recal)
+                final = postprocess_frequencies(
+                    estimate["value"].value, normalize=True
                 )
-                # Same seed per variant: identical perturbation, so the
-                # comparison isolates the re-calibration step.
-                estimate = estimator.estimate(labels, n_categories, rng=seed)
-                final = estimate.best(normalize=True)
                 sums[label] += float(np.mean((final - truth) ** 2))
         rows.append(
             SeriesRow(
@@ -108,7 +108,7 @@ def run_frequency_experiment(
             )
         )
     return FrequencyExperimentResult(
-        mechanism=mech_name,
+        mechanism=mechanism,
         users=users,
         n_categories=n_categories,
         repeats=repeats,

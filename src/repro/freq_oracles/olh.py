@@ -92,10 +92,14 @@ class OptimizedLocalHashing(FrequencyOracle):
         lie = (true_buckets + offset) % self.n_buckets
         return OlhReports(seeds=seeds, buckets=np.where(keep, true_buckets, lie))
 
-    def estimate(self, reports: OlhReports, chunk: int = 4096) -> np.ndarray:
-        """Unbiased frequency estimates by support counting."""
+    def support_counts(self, reports: OlhReports, chunk: int = 4096) -> np.ndarray:
+        """Per-category support counts ``Σ_i 1[H(seed_i, j) = bucket_i]``.
+
+        The additive aggregation statistic of OLH: exact integers, so
+        partial counts from report batches sum to the one-shot counts.
+        """
         if not isinstance(reports, OlhReports):
-            raise DimensionError("estimate expects OlhReports")
+            raise DimensionError("expected OlhReports")
         users = reports.buckets.size
         supports = np.zeros(self.n_categories, dtype=np.int64)
         categories = np.arange(self.n_categories, dtype=np.int64)
@@ -108,7 +112,11 @@ class OptimizedLocalHashing(FrequencyOracle):
                 self.n_buckets,
             ).reshape(seeds.shape[0], self.n_categories)
             supports += (hashed == observed).sum(axis=0)
-        observed_rate = supports / users
+        return supports
+
+    def estimate(self, reports: OlhReports, chunk: int = 4096) -> np.ndarray:
+        """Unbiased frequency estimates by support counting."""
+        observed_rate = self.support_counts(reports, chunk) / reports.buckets.size
         q = 1.0 / self.n_buckets
         return (observed_rate - q) / (self.p_true - q)
 

@@ -29,8 +29,11 @@ from .piecewise import PiecewiseMechanism
 from .scdf import SCDFMechanism
 from .registry import (
     available_mechanisms,
+    available_protocols,
     get_mechanism,
+    get_protocol,
     register_mechanism,
+    register_protocol,
 )
 from .square_wave import SquareWaveMechanism, standardized as standardized_square_wave
 from .staircase import StaircaseMechanism, optimal_gamma
@@ -49,10 +52,13 @@ __all__ = [
     "SquareWaveMechanism",
     "StaircaseMechanism",
     "available_mechanisms",
+    "available_protocols",
     "get_mechanism",
+    "get_protocol",
     "monte_carlo_moments",
     "optimal_gamma",
     "register_mechanism",
+    "register_protocol",
     "standardized_square_wave",
     "validate_epsilon",
     "validate_values",

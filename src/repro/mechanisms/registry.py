@@ -5,6 +5,17 @@ mechanisms by short string names; this module is the single place those
 names are resolved. Third-party mechanisms can be registered at runtime
 with :func:`register_mechanism` and immediately participate in every
 framework computation and experiment driver.
+
+The module also hosts the **unified protocol registry** consumed by the
+session API (:mod:`repro.session`): :func:`get_protocol` resolves *both*
+numeric mechanism names (``"laplace"``, ``"piecewise"``, …) and the
+categorical frequency-oracle names (``"grr"``, ``"oue"``, ``"olh"``)
+through one lookup, returning a
+:class:`~repro.session.adapters.CollectionProtocol` with the common
+``privatize``/``aggregate``/``deviation_model`` surface. Mechanism names
+are adapted lazily, so every mechanism registered with
+:func:`register_mechanism` — including third-party ones — is immediately
+resolvable as a protocol too.
 """
 
 from __future__ import annotations
@@ -24,6 +35,11 @@ MechanismFactory = Callable[[], Mechanism]
 
 _REGISTRY: Dict[str, MechanismFactory] = {}
 
+#: Names resolved by the unified protocol registry before mechanisms.
+#: Reserved so a mechanism registration cannot be silently shadowed by
+#: :func:`get_protocol` (which checks protocols first).
+_RESERVED_PROTOCOL_NAMES = frozenset(("grr", "oue", "olh"))
+
 
 def register_mechanism(name: str, factory: MechanismFactory, overwrite: bool = False) -> None:
     """Register ``factory`` under ``name``.
@@ -41,6 +57,11 @@ def register_mechanism(name: str, factory: MechanismFactory, overwrite: bool = F
     key = name.lower()
     if key in _REGISTRY and not overwrite:
         raise ValueError("mechanism %r is already registered" % name)
+    if key in _PROTOCOLS or key in _RESERVED_PROTOCOL_NAMES:
+        raise ValueError(
+            "name %r is taken by the unified protocol registry; a mechanism "
+            "under it would be unreachable through get_protocol" % name
+        )
     _REGISTRY[key] = factory
 
 
@@ -66,6 +87,81 @@ def get_mechanism(name: str) -> Mechanism:
 def available_mechanisms() -> List[str]:
     """Return the sorted list of registered mechanism names."""
     return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# Unified protocol registry (mechanisms *and* frequency oracles)
+# --------------------------------------------------------------------------
+
+#: Factories for non-mechanism protocols (the frequency oracles, plus any
+#: third-party registration). Mechanism names resolve through ``_REGISTRY``
+#: and are wrapped on the fly, so they are never duplicated here.
+_PROTOCOLS: Dict[str, Callable[[], object]] = {}
+
+
+def register_protocol(
+    name: str, factory: Callable[[], object], overwrite: bool = False
+) -> None:
+    """Register a :class:`CollectionProtocol` factory under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (lower-case by convention). Must not shadow a
+        registered mechanism name unless ``overwrite`` is set.
+    factory:
+        Zero-argument callable returning a fresh unbound protocol (an
+        object with a ``bind(attribute, epsilon)`` method).
+    overwrite:
+        Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if not overwrite and (key in _PROTOCOLS or key in _REGISTRY):
+        raise ValueError("protocol %r is already registered" % name)
+    _PROTOCOLS[key] = factory
+
+
+def _bootstrap_protocols() -> None:
+    """Import the session adapters so the oracle protocols self-register.
+
+    Deferred to first use: :mod:`repro.session` imports this module, so a
+    module-level import here would be circular.
+    """
+    from ..session import adapters  # noqa: F401  (import side effect)
+
+
+def get_protocol(name: str):
+    """Resolve ``name`` into a fresh unbound collection protocol.
+
+    Accepts every mechanism name known to :func:`get_mechanism` (returning
+    a :class:`~repro.session.adapters.MechanismProtocol` that serves
+    numeric attributes directly and categorical attributes via histogram
+    encoding) as well as the frequency-oracle names ``"grr"``, ``"oue"``
+    and ``"olh"``.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names when ``name`` is unknown.
+    """
+    _bootstrap_protocols()
+    key = name.lower()
+    if key in _PROTOCOLS:
+        return _PROTOCOLS[key]()
+    if key in _REGISTRY:
+        from ..session.adapters import MechanismProtocol
+
+        return MechanismProtocol(_REGISTRY[key](), name=key)
+    raise KeyError(
+        "unknown protocol %r; available: %s"
+        % (name, ", ".join(available_protocols()))
+    )
+
+
+def available_protocols() -> List[str]:
+    """Sorted names resolvable by :func:`get_protocol`."""
+    _bootstrap_protocols()
+    return sorted(set(_REGISTRY) | set(_PROTOCOLS))
 
 
 register_mechanism("laplace", LaplaceMechanism)

@@ -1,11 +1,19 @@
 """End-to-end simulation pipelines (users → reports → collector → mean).
 
+Both pipelines are now thin, backward-compatible facades over the
+canonical session API (:mod:`repro.session`): they build a typed
+:class:`~repro.session.Schema`, drive an :class:`~repro.session.LDPClient`
+in chunks and stream the resulting report batches into an
+:class:`~repro.session.LDPServer`. New code should use the session API
+directly — it handles mixed numeric+categorical schemas, incremental
+ingestion and composable re-calibration; these classes remain for the
+established experiment drivers and scripts.
+
 :class:`MeanEstimationPipeline` reproduces the paper's collection protocol
-at dataset scale with a vectorized, chunked fast path: every user samples
-``m`` of ``d`` dimensions, perturbs them with ``ε/m``, and the collector
-aggregates into ``θ̂``. The chunking keeps the memory footprint bounded
-(``chunk_size × d`` floats) so paper-scale runs (n = 200,000, d = 5,000)
-fit on a laptop.
+at dataset scale: every user samples ``m`` of ``d`` dimensions, perturbs
+them with ``ε/m``, and the collector aggregates into ``θ̂``. The chunking
+keeps the memory footprint bounded (``chunk_size × d`` floats) so
+paper-scale runs (n = 200,000, d = 5,000) fit on a laptop.
 
 The pipeline also exposes the bridge to Section IV: given the population
 value distributions of the data (or the data itself, which it discretizes),
@@ -14,7 +22,10 @@ for exactly this configuration — which is what HDR4ME's λ* selection
 consumes.
 
 :class:`FrequencyEstimationPipeline` is the Section V-C analogue for
-categorical data.
+categorical data. Its users sample exactly ``m`` of the ``d`` categorical
+dimensions (matching the budget split ``ε/m`` — the historical
+per-dimension Bernoulli(``m/d``) sampling could let a user report more
+than ``m`` dimensions and overspend ``ε``).
 """
 
 from __future__ import annotations
@@ -30,12 +41,12 @@ from ..framework.multivariate import (
     build_multivariate_model,
 )
 from ..framework.population import DEFAULT_BINS, ValueDistribution
-from ..hdr4me.frequency import FrequencyEstimate, FrequencyEstimator
+from ..hdr4me.frequency import FrequencyEstimate
 from ..hdr4me.recalibrator import RecalibrationResult, Recalibrator
 from ..mechanisms.base import Mechanism, validate_values
 from ..rng import RngLike, ensure_rng
 from .budget import BudgetPlan
-from .server import AggregationResult, Aggregator
+from .server import AggregationResult
 
 #: Users processed per vectorized chunk.
 DEFAULT_CHUNK_SIZE = 8192
@@ -115,6 +126,41 @@ class MeanEstimationPipeline:
         )
         self.chunk_size = int(chunk_size)
 
+    # -------------------------------------------------------------- session
+
+    def _schema(self):
+        """The all-numeric session schema equivalent to this pipeline."""
+        from ..session.schema import NumericAttribute, Schema
+
+        return Schema(
+            [
+                NumericAttribute("x%d" % j, domain=self.mechanism.input_domain)
+                for j in range(self.plan.dimensions)
+            ]
+        )
+
+    def _session(self):
+        """Fresh (client, server) pair for one collection round."""
+        from ..session.adapters import MechanismProtocol
+        from ..session.client import LDPClient
+        from ..session.server import LDPServer
+
+        protocol = MechanismProtocol(self.mechanism)
+        schema = self._schema()
+        client = LDPClient(
+            schema,
+            self.plan.epsilon,
+            sampled_attributes=self.plan.sampled_dimensions,
+            protocols=protocol,
+        )
+        server = LDPServer(
+            schema,
+            self.plan.epsilon,
+            sampled_attributes=self.plan.sampled_dimensions,
+            protocols=protocol,
+        )
+        return client, server
+
     # ------------------------------------------------------------------ run
 
     def run(self, data: np.ndarray, rng: RngLike = None) -> PipelineResult:
@@ -135,33 +181,27 @@ class MeanEstimationPipeline:
                 % (self.plan.dimensions, np.shape(data))
             )
         users = matrix.shape[0]
-        aggregator = Aggregator(self.mechanism, self.plan)
-        eps = self.plan.epsilon_per_dimension
-        m, d = self.plan.sampled_dimensions, self.plan.dimensions
-
+        client, server = self._session()
         for start in range(0, users, self.chunk_size):
             chunk = matrix[start : start + self.chunk_size]
-            if m == d:
-                perturbed = self.mechanism.perturb(chunk, eps, gen)
-                aggregator.add_matrix(perturbed)
-                continue
-            mask = self._sample_mask(chunk.shape[0], gen)
-            perturbed = np.zeros_like(chunk)
-            perturbed[mask] = self.mechanism.perturb(chunk[mask], eps, gen)
-            aggregator.add_matrix(perturbed, mask)
-
-        return PipelineResult(
-            aggregation=aggregator.aggregate(), plan=self.plan, users=users
+            server.ingest(client.report_batch(chunk, gen))
+        estimate = server.estimate()
+        aggregation = AggregationResult(
+            theta_hat=np.array([a.raw[0] for a in estimate.attributes]),
+            report_counts=np.array(
+                [a.reports for a in estimate.attributes], dtype=np.int64
+            ),
+            epsilon_per_dimension=self.plan.epsilon_per_dimension,
         )
+        return PipelineResult(aggregation=aggregation, plan=self.plan, users=users)
 
     def _sample_mask(self, batch: int, gen: np.random.Generator) -> np.ndarray:
         """Boolean ``(batch, d)`` mask with exactly ``m`` True per row."""
-        d, m = self.plan.dimensions, self.plan.sampled_dimensions
-        scores = gen.random((batch, d))
-        chosen = np.argpartition(scores, m - 1, axis=1)[:, :m]
-        mask = np.zeros((batch, d), dtype=bool)
-        mask[np.arange(batch)[:, None], chosen] = True
-        return mask
+        from ..session.client import sample_attribute_mask
+
+        return sample_attribute_mask(
+            batch, self.plan.dimensions, self.plan.sampled_dimensions, gen
+        )
 
     # ------------------------------------------------------------ framework
 
@@ -214,9 +254,10 @@ class MeanEstimationPipeline:
 class FrequencyEstimationPipeline:
     """Section V-C protocol for ``d`` categorical dimensions.
 
-    Each user samples ``m`` of the ``d`` categorical dimensions and
-    submits the histogram-encoded, per-entry-perturbed vector for each;
-    the collector converts entry means back into per-category frequencies.
+    Each user samples exactly ``m`` of the ``d`` categorical dimensions
+    and submits the histogram-encoded, per-entry-perturbed vector for
+    each; the collector converts entry means back into per-category
+    frequencies.
 
     Parameters
     ----------
@@ -247,12 +288,8 @@ class FrequencyEstimationPipeline:
         m = d if sampled_dimensions is None else int(sampled_dimensions)
         self.plan = BudgetPlan(epsilon=epsilon, dimensions=d, sampled_dimensions=m)
         self.category_counts = counts
-        self._estimator = FrequencyEstimator(
-            mechanism,
-            epsilon,
-            sampled_dimensions=m,
-            recalibrator=recalibrator,
-        )
+        self.mechanism = mechanism
+        self.recalibrator = recalibrator
 
     def run(
         self, categories: np.ndarray, rng: RngLike = None
@@ -264,6 +301,11 @@ class FrequencyEstimationPipeline:
         categories:
             ``(n, d)`` integer matrix of category labels.
         """
+        from ..session.adapters import MechanismProtocol
+        from ..session.client import LDPClient
+        from ..session.schema import CategoricalAttribute, Schema
+        from ..session.server import LDPServer
+
         gen = ensure_rng(rng)
         labels = np.asarray(categories)
         if labels.ndim != 2 or labels.shape[1] != self.plan.dimensions:
@@ -271,21 +313,37 @@ class FrequencyEstimationPipeline:
                 "expected (n, %d) labels, got %s"
                 % (self.plan.dimensions, np.shape(categories))
             )
+        schema = Schema(
+            [
+                CategoricalAttribute("q%d" % j, n_categories=v)
+                for j, v in enumerate(self.category_counts)
+            ]
+        )
+        protocol = MechanismProtocol(self.mechanism)
+        client = LDPClient(
+            schema,
+            self.plan.epsilon,
+            sampled_attributes=self.plan.sampled_dimensions,
+            protocols=protocol,
+        )
+        server = LDPServer(
+            schema,
+            self.plan.epsilon,
+            sampled_attributes=self.plan.sampled_dimensions,
+            protocols=protocol,
+        )
         users = labels.shape[0]
-        d, m = self.plan.dimensions, self.plan.sampled_dimensions
-        estimates: List[FrequencyEstimate] = []
-        for j, n_categories in enumerate(self.category_counts):
-            if m == d:
-                contributors = labels[:, j]
-            else:
-                # Each user reports dimension j with probability m/d.
-                picked = gen.random(users) < (m / d)
-                contributors = labels[picked, j]
-                if contributors.size == 0:
-                    raise DimensionError(
-                        "dimension %d received no reports; increase n or m" % j
-                    )
-            estimates.append(
-                self._estimator.estimate(contributors, n_categories, gen)
+        for start in range(0, users, DEFAULT_CHUNK_SIZE):
+            chunk = labels[start : start + DEFAULT_CHUNK_SIZE]
+            server.ingest(client.report_batch(chunk, gen))
+        estimate = server.estimate(postprocess=self.recalibrator)
+        return [
+            FrequencyEstimate(
+                raw=attr.raw,
+                entry_means=attr.entry_means,
+                enhanced=attr.enhanced,
+                epsilon_per_entry=self.plan.epsilon_per_entry,
+                reports=attr.reports,
             )
-        return estimates
+            for attr in estimate.attributes
+        ]

@@ -1,0 +1,464 @@
+"""Protocol adapters: one surface over numeric mechanisms and oracles.
+
+The repo grew two perturbation families with incompatible interfaces:
+:class:`~repro.mechanisms.base.Mechanism` (numeric perturbation with
+closed-form conditional moments) and
+:class:`~repro.freq_oracles.base.FrequencyOracle` (categorical GRR/OUE/OLH
+with closed-form estimation variances). This module puts both behind one
+``privatize`` / ``aggregate`` / ``deviation_model`` surface so the session
+client and server never dispatch on the family:
+
+* :class:`CollectionProtocol` — an *unbound* protocol resolved from the
+  unified registry (:func:`repro.mechanisms.registry.get_protocol`);
+  :meth:`CollectionProtocol.bind` specializes it to one schema attribute
+  and its per-attribute budget;
+* :class:`AttributeCollector` — the bound object: the client side calls
+  :meth:`~AttributeCollector.privatize`, the server side feeds an
+  additive aggregation state via :meth:`~AttributeCollector.accumulate`
+  and reads :meth:`~AttributeCollector.estimate` /
+  :meth:`~AttributeCollector.deviation_model` from it.
+
+Aggregation states are strictly additive (counts, streaming sums), which
+is what makes :meth:`repro.session.LDPServer.ingest` incremental: the
+estimate after ten small batches is bit-identical to the estimate after
+one concatenated batch.
+
+Budget semantics: a collector receives the whole per-attribute budget
+``ε/m``. Numeric mechanisms spend it directly; histogram encoding spends
+``ε/2m`` per one-hot entry (a category change flips two entries); the
+oracles spend ``ε/m`` on the single label report. All three therefore
+compose to the user's collective ``ε`` under the exactly-``m`` sampling
+done by :class:`repro.session.LDPClient`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import AggregationError, DimensionError
+from ..framework.deviation import DeviationModel, build_deviation_model
+from ..framework.multivariate import MultivariateDeviationModel
+from ..framework.population import ValueDistribution
+from ..freq_oracles.base import FrequencyOracle
+from ..freq_oracles.grr import GeneralizedRandomizedResponse
+from ..freq_oracles.olh import OlhReports, OptimizedLocalHashing
+from ..freq_oracles.oue import OptimizedUnaryEncoding
+from ..hdr4me.frequency import adapt_to_unit_domain, one_hot_encode
+from ..mechanisms.base import (
+    AffineTransformedMechanism,
+    Mechanism,
+    affine_mean_map,
+    validate_epsilon,
+)
+from ..rng import RngLike, ensure_rng
+from .schema import Attribute, CategoricalAttribute, NumericAttribute
+from .streaming import StreamingSum
+
+class AttributeCollector(abc.ABC):
+    """A protocol bound to one attribute and its per-attribute budget.
+
+    Collectors own both halves of the attribute's collection: the
+    client-side :meth:`privatize` and the server-side additive state
+    (:meth:`new_state` / :meth:`accumulate`) with its readers
+    (:meth:`estimate`, :meth:`deviation_model`).
+    """
+
+    #: Registry name of the protocol that bound this collector (stamped by
+    #: ``resolve_collectors``); lets the server reject report payloads
+    #: produced under a different protocol.
+    protocol_name: str = "unknown"
+
+    def __init__(self, attribute: Attribute, epsilon: float) -> None:
+        self.attribute = attribute
+        self.epsilon = validate_epsilon(epsilon)
+
+    # -------------------------------------------------------------- client
+
+    @abc.abstractmethod
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> Any:
+        """Perturb the contributing users' values into a report payload."""
+
+    # -------------------------------------------------------------- server
+
+    @abc.abstractmethod
+    def new_state(self) -> Any:
+        """Fresh additive aggregation state for this attribute."""
+
+    @abc.abstractmethod
+    def accumulate(self, state: Any, payload: Any) -> None:
+        """Fold one report payload into the aggregation state."""
+
+    @abc.abstractmethod
+    def reports(self, state: Any) -> int:
+        """Number of user reports accumulated so far."""
+
+    @abc.abstractmethod
+    def estimate(self, state: Any) -> np.ndarray:
+        """Calibrated estimate from the current state (non-destructive).
+
+        Numeric attributes yield a length-1 vector (the mean); categorical
+        attributes yield the length-``v`` frequency vector.
+        """
+
+    @abc.abstractmethod
+    def deviation_model(self, state: Any) -> MultivariateDeviationModel:
+        """Theorem-1-style deviation model of :meth:`estimate`'s output."""
+
+    # ------------------------------------------------------------- payloads
+
+    def concat_payloads(self, payloads: Sequence[Any]) -> Any:
+        """Concatenate report payloads (default: stacked numpy arrays)."""
+        return np.concatenate([np.asarray(p) for p in payloads], axis=0)
+
+    def entry_means(self, state: Any) -> Optional[np.ndarray]:
+        """Uncalibrated encoded-entry means, when the encoding has them."""
+        return None
+
+    def _require_reports(self, state: Any) -> int:
+        count = self.reports(state)
+        if count < 1:
+            raise AggregationError(
+                "attribute %r received no reports; increase n or m"
+                % self.attribute.name
+            )
+        return count
+
+
+class CollectionProtocol(abc.ABC):
+    """Unbound perturbation protocol resolvable by name from the registry."""
+
+    #: Registry-style short name.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def bind(self, attribute: Attribute, epsilon: float) -> AttributeCollector:
+        """Specialize to one schema attribute under budget ``epsilon``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(name=%r)" % (type(self).__name__, self.name)
+
+
+# --------------------------------------------------------------------------
+# Numeric mechanisms (and their histogram-encoded categorical route)
+# --------------------------------------------------------------------------
+
+
+class _NumericState:
+    """Additive state for one numeric attribute: streaming sum + count."""
+
+    __slots__ = ("sums",)
+
+    def __init__(self) -> None:
+        self.sums = StreamingSum(width=1)
+
+
+class NumericMechanismCollector(AttributeCollector):
+    """Mean estimation for one numeric attribute via a :class:`Mechanism`.
+
+    The mechanism is re-domained to the attribute's declared interval when
+    they differ, so schemas may mix attribute ranges freely.
+    """
+
+    def __init__(
+        self, mechanism: Mechanism, attribute: NumericAttribute, epsilon: float
+    ) -> None:
+        super().__init__(attribute, epsilon)
+        if tuple(mechanism.input_domain) != tuple(attribute.domain):
+            mechanism = AffineTransformedMechanism(mechanism, attribute.domain)
+        self.mechanism = mechanism
+
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        column = self.attribute.validate_column(values)
+        return self.mechanism.perturb(column, self.epsilon, gen)
+
+    def new_state(self) -> _NumericState:
+        return _NumericState()
+
+    def accumulate(self, state: _NumericState, payload: np.ndarray) -> None:
+        state.sums.add(np.asarray(payload, dtype=np.float64)[:, None])
+
+    def reports(self, state: _NumericState) -> int:
+        return state.sums.rows
+
+    def estimate(self, state: _NumericState) -> np.ndarray:
+        count = self._require_reports(state)
+        mean = state.sums.value()[0] / count
+        bias = self.mechanism.deterministic_bias(self.epsilon)
+        if bias:
+            mean = mean - bias
+        return np.array([mean])
+
+    def deviation_model(self, state: _NumericState) -> MultivariateDeviationModel:
+        count = self._require_reports(state)
+        population = None
+        if self.mechanism.bounded:
+            lo, hi = self.attribute.domain
+            plugin = float(np.clip(self.estimate(state)[0], lo, hi))
+            population = ValueDistribution.point_mass(plugin)
+        model = build_deviation_model(
+            self.mechanism, self.epsilon, count, population
+        )
+        return MultivariateDeviationModel([model])
+
+
+class _HistogramState:
+    """Additive state for histogram-encoded entries: ``(v,)`` sums + count."""
+
+    __slots__ = ("sums",)
+
+    def __init__(self, n_categories: int) -> None:
+        self.sums = StreamingSum(width=n_categories)
+
+
+class HistogramMechanismCollector(AttributeCollector):
+    """Frequency estimation via histogram encoding (paper Section V-C).
+
+    Labels are one-hot encoded and every entry is perturbed with
+    ``ε/2`` of the attribute budget (a category change flips two
+    entries), using the mechanism re-domained to the unit interval. The
+    collector inverts the mechanism's affine conditional-mean map to
+    calibrate entry means back into frequencies.
+    """
+
+    def __init__(
+        self, mechanism: Mechanism, attribute: CategoricalAttribute, epsilon: float
+    ) -> None:
+        super().__init__(attribute, epsilon)
+        self.mechanism = adapt_to_unit_domain(mechanism)
+        self.epsilon_per_entry = self.epsilon / 2.0
+
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        labels = self.attribute.validate_column(values)
+        encoded = one_hot_encode(labels, self.attribute.n_categories)
+        return self.mechanism.perturb(encoded, self.epsilon_per_entry, gen)
+
+    def new_state(self) -> _HistogramState:
+        return _HistogramState(self.attribute.n_categories)
+
+    def accumulate(self, state: _HistogramState, payload: np.ndarray) -> None:
+        matrix = np.asarray(payload, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.attribute.n_categories:
+            raise DimensionError(
+                "attribute %r: expected (k, %d) histogram payload, got %s"
+                % (self.attribute.name, self.attribute.n_categories, matrix.shape)
+            )
+        state.sums.add(matrix)
+
+    def reports(self, state: _HistogramState) -> int:
+        return state.sums.rows
+
+    def entry_means(self, state: _HistogramState) -> np.ndarray:
+        count = self._require_reports(state)
+        return state.sums.value() / count
+
+    def _affine(self) -> tuple:
+        affine = affine_mean_map(self.mechanism, self.epsilon_per_entry)
+        if affine is None:  # pragma: no cover - no shipped mechanism hits this
+            return 1.0, 0.0
+        return affine
+
+    def estimate(self, state: _HistogramState) -> np.ndarray:
+        slope, intercept = self._affine()
+        return (self.entry_means(state) - intercept) / slope
+
+    def deviation_model(self, state: _HistogramState) -> MultivariateDeviationModel:
+        """Plug-in Bernoulli model per entry, rescaled by the calibration.
+
+        The calibrated estimate divides by the affine slope, so the
+        per-entry deviation sigma is the Lemma 3 sigma over ``|slope|``.
+        """
+        count = self._require_reports(state)
+        slope, _ = self._affine()
+        plugin = np.clip(self.estimate(state), 0.0, 1.0)
+        models: List[DeviationModel] = []
+        for frequency in plugin:
+            population = ValueDistribution(
+                np.array([0.0, 1.0]),
+                np.array([1.0 - frequency, frequency]),
+            )
+            base = build_deviation_model(
+                self.mechanism, self.epsilon_per_entry, count, population
+            )
+            models.append(
+                DeviationModel(
+                    delta=0.0,
+                    sigma=base.sigma / abs(slope),
+                    reports=count,
+                    epsilon=self.epsilon_per_entry,
+                    mechanism_name=base.mechanism_name,
+                )
+            )
+        return MultivariateDeviationModel(models)
+
+
+class MechanismProtocol(CollectionProtocol):
+    """Adapter exposing any numeric :class:`Mechanism` as a protocol.
+
+    Numeric attributes are perturbed directly; categorical attributes go
+    through the histogram-encoding route, so one mechanism name can serve
+    a mixed schema end to end.
+    """
+
+    def __init__(self, mechanism: Mechanism, name: Optional[str] = None) -> None:
+        self.mechanism = mechanism
+        self.name = name or mechanism.name
+
+    def bind(self, attribute: Attribute, epsilon: float) -> AttributeCollector:
+        if attribute.kind == "numeric":
+            return NumericMechanismCollector(self.mechanism, attribute, epsilon)
+        return HistogramMechanismCollector(self.mechanism, attribute, epsilon)
+
+
+# --------------------------------------------------------------------------
+# Frequency oracles
+# --------------------------------------------------------------------------
+
+
+class _OracleState:
+    """Additive state shared by the oracle collectors: counts + users."""
+
+    __slots__ = ("counts", "users")
+
+    def __init__(self, n_categories: int) -> None:
+        self.counts = np.zeros(n_categories, dtype=np.int64)
+        self.users = 0
+
+
+class OracleCollector(AttributeCollector):
+    """Common plumbing for the three Wang et al. oracle collectors.
+
+    Subclasses accumulate integer per-category statistics (label counts,
+    bit-column sums or hash-support counts) — exact arithmetic, hence
+    trivially batching-invariant — and reconstruct the oracle's unbiased
+    estimator from them.
+    """
+
+    oracle_cls = FrequencyOracle  # overridden by subclasses
+
+    def __init__(self, attribute: CategoricalAttribute, epsilon: float) -> None:
+        if attribute.kind != "categorical":
+            raise DimensionError(
+                "frequency oracle %r only serves categorical attributes, "
+                "got numeric attribute %r" % (self.oracle_cls.name, attribute.name)
+            )
+        super().__init__(attribute, epsilon)
+        self.oracle = self.oracle_cls(self.epsilon, attribute.n_categories)
+
+    def privatize(self, values: np.ndarray, rng: RngLike = None) -> Any:
+        labels = self.attribute.validate_column(values)
+        return self.oracle.privatize(labels, rng)
+
+    def new_state(self) -> _OracleState:
+        return _OracleState(self.attribute.n_categories)
+
+    def reports(self, state: _OracleState) -> int:
+        return state.users
+
+    def deviation_model(self, state: _OracleState) -> MultivariateDeviationModel:
+        self._require_reports(state)
+        frequencies = np.clip(self.estimate(state), 0.0, 1.0)
+        return self.oracle.deviation_model(state.users, frequencies=frequencies)
+
+
+class GrrCollector(OracleCollector):
+    """GRR aggregation: exact per-category counts of the noisy labels."""
+
+    oracle_cls = GeneralizedRandomizedResponse
+
+    def accumulate(self, state: _OracleState, payload: np.ndarray) -> None:
+        labels = np.asarray(payload, dtype=np.int64)
+        state.counts += np.bincount(
+            labels, minlength=self.attribute.n_categories
+        )
+        state.users += labels.size
+
+    def estimate(self, state: _OracleState) -> np.ndarray:
+        count = self._require_reports(state)
+        observed = state.counts / count
+        p, q = self.oracle.p_true, self.oracle.p_other
+        return (observed - q) / (p - q)
+
+
+class OueCollector(OracleCollector):
+    """OUE aggregation: exact column sums of the perturbed bit matrix."""
+
+    oracle_cls = OptimizedUnaryEncoding
+
+    def accumulate(self, state: _OracleState, payload: np.ndarray) -> None:
+        matrix = np.asarray(payload, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.attribute.n_categories:
+            raise DimensionError(
+                "attribute %r: expected (k, %d) OUE payload, got %s"
+                % (self.attribute.name, self.attribute.n_categories, matrix.shape)
+            )
+        state.counts += np.rint(matrix.sum(axis=0)).astype(np.int64)
+        state.users += matrix.shape[0]
+
+    def estimate(self, state: _OracleState) -> np.ndarray:
+        count = self._require_reports(state)
+        observed = state.counts / count
+        p, q = self.oracle.p_keep, self.oracle.p_flip
+        return (observed - q) / (p - q)
+
+
+class OlhCollector(OracleCollector):
+    """OLH aggregation: exact support counts over the hash reports."""
+
+    oracle_cls = OptimizedLocalHashing
+
+    def accumulate(self, state: _OracleState, payload: OlhReports) -> None:
+        if not isinstance(payload, OlhReports):
+            raise DimensionError(
+                "attribute %r: expected OlhReports payload" % self.attribute.name
+            )
+        state.counts += self.oracle.support_counts(payload)
+        state.users += payload.buckets.size
+
+    def estimate(self, state: _OracleState) -> np.ndarray:
+        count = self._require_reports(state)
+        observed = state.counts / count
+        p = self.oracle.p_true
+        q = 1.0 / self.oracle.n_buckets
+        return (observed - q) / (p - q)
+
+    def concat_payloads(self, payloads: Sequence[OlhReports]) -> OlhReports:
+        return OlhReports(
+            seeds=np.concatenate([p.seeds for p in payloads], axis=0),
+            buckets=np.concatenate([p.buckets for p in payloads], axis=0),
+        )
+
+
+class OracleProtocol(CollectionProtocol):
+    """Adapter exposing one :class:`FrequencyOracle` family as a protocol."""
+
+    def __init__(self, collector_cls: type, name: str) -> None:
+        self.collector_cls = collector_cls
+        self.name = name
+
+    def bind(self, attribute: Attribute, epsilon: float) -> AttributeCollector:
+        return self.collector_cls(attribute, epsilon)
+
+
+#: The oracle protocols registered with the unified registry.
+ORACLE_PROTOCOLS = {
+    "grr": lambda: OracleProtocol(GrrCollector, "grr"),
+    "oue": lambda: OracleProtocol(OueCollector, "oue"),
+    "olh": lambda: OracleProtocol(OlhCollector, "olh"),
+}
+
+
+def _register_default_protocols() -> None:
+    """Idempotently register the oracle protocols with the registry."""
+    from ..mechanisms import registry
+
+    for name, factory in ORACLE_PROTOCOLS.items():
+        if name not in registry._PROTOCOLS:
+            registry.register_protocol(name, factory)
+
+
+_register_default_protocols()

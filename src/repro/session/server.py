@@ -1,0 +1,318 @@
+"""Collector-side of the unified collection API.
+
+:class:`LDPServer` owns one additive aggregation state per schema
+attribute and exposes the two verbs real telemetry backends need:
+
+* :meth:`LDPServer.ingest` — fold a :class:`~repro.session.ReportBatch`
+  (or several) into the state. Batches can arrive in any split: the
+  states are strictly additive and float reductions are batching-
+  invariant (see :mod:`repro.session.streaming`), so incremental
+  ingestion is *bit-identical* to one-shot ingestion of the concatenated
+  reports.
+* :meth:`LDPServer.estimate` — read the calibrated estimates out of the
+  current state without consuming it; call it as often as you like while
+  the stream keeps flowing.
+
+Re-calibration is a composable post-processing step: pass
+``estimate(postprocess=Recalibrator(norm="l1"))`` and the server builds
+each attribute group's deviation model from its protocol adapter and
+re-calibrates — HDR4ME is applied jointly across the numeric attributes
+(that is the high-dimensional setting of the paper) and per categorical
+attribute over its frequency vector, with no recalibration state threaded
+through constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from ..exceptions import AggregationError, DimensionError
+from ..framework.multivariate import MultivariateDeviationModel
+from ..protocol.budget import BudgetPlan
+from .client import ProtocolSpec, ReportBatch, resolve_collectors
+from .schema import Schema
+
+#: A post-processing step: a :class:`~repro.hdr4me.Recalibrator` (anything
+#: with a ``recalibrate(theta_hat, model)`` method) or a plain callable
+#: ``(theta_hat, model) -> ndarray``.
+Postprocessor = Union[Callable[..., Any], Any]
+
+
+@dataclass(frozen=True)
+class AttributeEstimate:
+    """One attribute's estimate after a collection round.
+
+    Attributes
+    ----------
+    name:
+        Attribute name from the schema.
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    raw:
+        Calibrated estimate — length-1 vector (mean) for numeric
+        attributes, length-``v`` frequency vector for categorical ones.
+    enhanced:
+        Post-processed (e.g. HDR4ME re-calibrated) estimate, present when
+        a postprocessor was supplied to :meth:`LDPServer.estimate`.
+    reports:
+        Number of user reports this attribute received.
+    epsilon:
+        Per-attribute budget ``ε/m`` the reports were perturbed with.
+    entry_means:
+        Uncalibrated encoded-entry means for histogram-encoded
+        categorical attributes; ``None`` otherwise.
+    """
+
+    name: str
+    kind: str
+    raw: np.ndarray
+    enhanced: Optional[np.ndarray]
+    reports: int
+    epsilon: float
+    entry_means: Optional[np.ndarray] = None
+
+    @property
+    def value(self) -> np.ndarray:
+        """Best available estimate (enhanced when present, else raw)."""
+        return self.enhanced if self.enhanced is not None else self.raw
+
+    @property
+    def scalar(self) -> float:
+        """The mean as a float (numeric attributes only)."""
+        if self.kind != "numeric":
+            raise DimensionError(
+                "attribute %r is categorical; use the frequency vector"
+                % self.name
+            )
+        return float(self.value[0])
+
+
+@dataclass(frozen=True)
+class SessionEstimate:
+    """Everything the server can say after (or during) a collection round.
+
+    Attributes
+    ----------
+    attributes:
+        Per-attribute estimates in schema order.
+    users:
+        Number of users ingested so far.
+    plan:
+        The shared budget plan.
+    """
+
+    attributes: List[AttributeEstimate]
+    users: int
+    plan: BudgetPlan
+
+    def __getitem__(self, name: str) -> AttributeEstimate:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(
+            "unknown attribute %r; estimates cover: %s"
+            % (name, ", ".join(a.name for a in self.attributes))
+        )
+
+    def numeric_means(self, enhanced: bool = True) -> np.ndarray:
+        """Vector of numeric-attribute means in schema order."""
+        return np.array(
+            [
+                (a.value if enhanced else a.raw)[0]
+                for a in self.attributes
+                if a.kind == "numeric"
+            ]
+        )
+
+    def frequencies(self, name: str, enhanced: bool = True) -> np.ndarray:
+        """Frequency vector of a categorical attribute."""
+        attr = self[name]
+        if attr.kind != "categorical":
+            raise DimensionError("attribute %r is numeric" % name)
+        return attr.value if enhanced else attr.raw
+
+
+class LDPServer:
+    """Streaming collector for typed records.
+
+    Construct it with the *same* schema, budget and protocol spec as the
+    :class:`~repro.session.LDPClient` producing the reports — those three
+    are the collection contract.
+
+    Parameters
+    ----------
+    schema:
+        The record :class:`~repro.session.Schema`.
+    epsilon:
+        Collective per-user privacy budget ``ε``.
+    sampled_attributes:
+        The ``m`` of the protocol; defaults to all attributes.
+    protocols:
+        Protocol spec, as for :class:`~repro.session.LDPClient`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        epsilon: float,
+        sampled_attributes: Optional[int] = None,
+        protocols: ProtocolSpec = None,
+    ) -> None:
+        m = (
+            schema.dimensions
+            if sampled_attributes is None
+            else int(sampled_attributes)
+        )
+        self.schema = schema
+        self.plan = BudgetPlan(
+            epsilon=epsilon, dimensions=schema.dimensions, sampled_dimensions=m
+        )
+        self.collectors = resolve_collectors(schema, self.plan, protocols)
+        self._states: Dict[str, Any] = {
+            name: collector.new_state()
+            for name, collector in self.collectors.items()
+        }
+        self._users = 0
+
+    # -------------------------------------------------------------- ingest
+
+    @property
+    def users(self) -> int:
+        """Number of users ingested so far."""
+        return self._users
+
+    def report_counts(self) -> Dict[str, int]:
+        """Reports received so far, per attribute name."""
+        return {
+            name: collector.reports(self._states[name])
+            for name, collector in self.collectors.items()
+        }
+
+    def ingest(
+        self, reports: Union[ReportBatch, Iterable[ReportBatch]]
+    ) -> "LDPServer":
+        """Fold one batch — or an iterable of batches — into the state.
+
+        Returns ``self`` so streaming loops can chain
+        ``server.ingest(batch).estimate()``.
+        """
+        batches = [reports] if isinstance(reports, ReportBatch) else list(reports)
+        for batch in batches:
+            unknown = set(batch.payloads) - set(self.collectors)
+            if unknown:
+                raise DimensionError(
+                    "batch reports unknown attributes: %s"
+                    % ", ".join(sorted(unknown))
+                )
+            for name, payload in batch.payloads.items():
+                declared = batch.protocols.get(name)
+                expected = self.collectors[name].protocol_name
+                if declared is not None and declared != expected:
+                    raise DimensionError(
+                        "attribute %r: batch was produced by protocol %r "
+                        "but this server aggregates with %r"
+                        % (name, declared, expected)
+                    )
+                self.collectors[name].accumulate(self._states[name], payload)
+            self._users += batch.users
+        return self
+
+    def reset(self) -> None:
+        """Discard all accumulated reports (start a new round)."""
+        for name, collector in self.collectors.items():
+            self._states[name] = collector.new_state()
+        self._users = 0
+
+    # ------------------------------------------------------------ estimate
+
+    def estimate(self, postprocess: Optional[Postprocessor] = None) -> SessionEstimate:
+        """Calibrated estimates from the current state (non-destructive).
+
+        Parameters
+        ----------
+        postprocess:
+            Optional re-calibration step — typically a
+            :class:`~repro.hdr4me.Recalibrator`. Applied jointly over the
+            numeric attributes (one high-dimensional mean vector) and per
+            categorical attribute (its frequency vector), each with the
+            deviation model supplied by the attribute's protocol adapter.
+
+        Raises
+        ------
+        AggregationError
+            If any attribute has received no reports yet.
+        """
+        if self._users == 0:
+            raise AggregationError("no reports ingested yet")
+        raws: Dict[str, np.ndarray] = {}
+        for name, collector in self.collectors.items():
+            raws[name] = collector.estimate(self._states[name])
+
+        enhanced: Dict[str, Optional[np.ndarray]] = {n: None for n in raws}
+        if postprocess is not None:
+            enhanced.update(self._postprocess(postprocess, raws))
+
+        epsilon = self.plan.epsilon_per_dimension
+        attributes = []
+        for attr in self.schema:
+            collector = self.collectors[attr.name]
+            state = self._states[attr.name]
+            attributes.append(
+                AttributeEstimate(
+                    name=attr.name,
+                    kind=attr.kind,
+                    raw=raws[attr.name],
+                    enhanced=enhanced[attr.name],
+                    reports=collector.reports(state),
+                    epsilon=epsilon,
+                    entry_means=collector.entry_means(state),
+                )
+            )
+        return SessionEstimate(
+            attributes=attributes, users=self._users, plan=self.plan
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def deviation_model(self, name: str) -> MultivariateDeviationModel:
+        """The deviation model of one attribute's current estimate."""
+        return self.collectors[name].deviation_model(self._states[name])
+
+    def _apply(
+        self,
+        postprocess: Postprocessor,
+        theta_hat: np.ndarray,
+        model: MultivariateDeviationModel,
+    ) -> np.ndarray:
+        recalibrate = getattr(postprocess, "recalibrate", None)
+        if recalibrate is not None:
+            result = recalibrate(theta_hat, model)
+            return np.asarray(result.theta_star, dtype=np.float64)
+        return np.asarray(postprocess(theta_hat, model), dtype=np.float64)
+
+    def _postprocess(
+        self, postprocess: Postprocessor, raws: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Re-calibrate numeric attributes jointly, categorical per attribute."""
+        out: Dict[str, np.ndarray] = {}
+        numeric = [a for a in self.schema if a.kind == "numeric"]
+        if numeric:
+            theta_hat = np.array([raws[a.name][0] for a in numeric])
+            joint = MultivariateDeviationModel(
+                [
+                    self.deviation_model(a.name).dimensions[0]
+                    for a in numeric
+                ]
+            )
+            theta_star = self._apply(postprocess, theta_hat, joint)
+            for idx, attr in enumerate(numeric):
+                out[attr.name] = np.array([theta_star[idx]])
+        for attr in self.schema:
+            if attr.kind != "categorical":
+                continue
+            model = self.deviation_model(attr.name)
+            out[attr.name] = self._apply(postprocess, raws[attr.name], model)
+        return out

@@ -176,3 +176,31 @@ class TestFrequencyPipeline:
             FrequencyEstimationPipeline(
                 get_mechanism("laplace"), epsilon=1.0, category_counts=[]
             )
+
+    def test_no_user_exceeds_m_reports(self, rng):
+        """Privacy-accounting regression: exactly m of d dimensions per user.
+
+        The historical per-dimension Bernoulli(m/d) sampling could let a
+        user report more than m dimensions while paying only eps/m each,
+        overspending the collective budget. With exactly-m sampling the
+        total report count is deterministically n*m (Bernoulli sampling
+        only hits that in expectation) and no user can exceed m.
+        """
+        users, m = 4000, 2
+        labels = rng.integers(0, 3, size=(users, 5))
+        pipeline = FrequencyEstimationPipeline(
+            get_mechanism("laplace"),
+            epsilon=2.0,
+            category_counts=[3] * 5,
+            sampled_dimensions=m,
+        )
+        estimates = pipeline.run(labels, rng)
+        assert sum(e.reports for e in estimates) == users * m
+        assert all(e.reports <= users for e in estimates)
+
+    def test_per_user_sampling_mask_never_exceeds_m(self, rng):
+        """The sampling primitive itself guarantees the per-user cap."""
+        from repro.session import sample_attribute_mask
+
+        mask = sample_attribute_mask(1000, 7, 3, rng)
+        assert mask.sum(axis=1).max() == 3

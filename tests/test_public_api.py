@@ -60,6 +60,37 @@ class TestImports:
 
     def test_quickstart_docstring_runs(self):
         """The usage example in the package docstring must stay valid."""
+        import numpy as np
+
+        from repro import (
+            CategoricalAttribute,
+            LDPClient,
+            LDPServer,
+            NumericAttribute,
+            Recalibrator,
+            Schema,
+        )
+
+        schema = Schema(
+            [
+                NumericAttribute("screen_time"),
+                CategoricalAttribute("top_app", n_categories=16),
+            ]
+        )
+        client = LDPClient(schema, epsilon=1.0, protocols="piecewise")
+        server = LDPServer(schema, epsilon=1.0, protocols="piecewise")
+        gen = np.random.default_rng(0)
+        records = np.column_stack(
+            [gen.uniform(-1, 1, 5_000), gen.integers(0, 16, 5_000)]
+        )
+        for batch in np.array_split(records, 10):
+            server.ingest(client.report_batch(batch, rng=gen))
+        estimate = server.estimate(postprocess=Recalibrator(norm="l1"))
+        assert np.isfinite(estimate["screen_time"].scalar)
+        assert estimate.frequencies("top_app").shape == (16,)
+
+    def test_legacy_pipeline_facade_runs(self):
+        """The pre-session entry points keep their documented flow."""
         from repro import (
             MeanEstimationPipeline,
             Recalibrator,
