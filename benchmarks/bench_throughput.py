@@ -1,24 +1,51 @@
-"""Perturbation throughput of every mechanism (engineering benchmark).
+"""Perturbation and ingestion throughput (engineering benchmark).
 
-Not a paper artefact — this is the benchmark that keeps the vectorized
-samplers honest: each mechanism perturbs a 500k-value batch and
-pytest-benchmark reports values/second. A regression here (e.g. an
-accidental Python-level loop) multiplies every Fig. 4/5 regeneration
-time, so the bench also asserts a conservative throughput floor.
+Not a paper artefact — these are the benchmarks that keep the hot paths
+honest. Two families:
+
+* **perturbation**: each mechanism perturbs a 500k-value batch and
+  pytest-benchmark reports values/second. A regression here (e.g. an
+  accidental Python-level loop) multiplies every Fig. 4/5 regeneration
+  time, so the bench asserts a conservative throughput floor.
+* **wire ingestion**: the full distributed path — encode a report batch
+  under its contract, decode + verify it, fan it over a
+  :class:`~repro.session.ShardedServer` (1, 2 and 4 shards) and read the
+  merged estimate. Reports/second land in
+  ``benchmarks/results/wire_throughput.json`` as a machine-readable
+  record for the performance trajectory across PRs.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.mechanisms import available_mechanisms, get_mechanism
+from repro.session import (
+    CategoricalAttribute,
+    LDPClient,
+    NumericAttribute,
+    Schema,
+    ShardedServer,
+)
 from bench_config import BENCH_SEED
 
 BATCH = 500_000
 EPSILON = 1.0
 #: Conservative floor (values/second) — real numbers are ~10-100x higher.
 MIN_THROUGHPUT = 1e5
+
+#: Wire-path shape: enough users that codec + ingest dominate fixture
+#: noise, small enough for laptop-seconds runs.
+WIRE_USERS = 20_000
+WIRE_BATCHES = 8
+WIRE_NUMERIC_DIMS = 4
+WIRE_CATEGORIES = 16
+WIRE_SHARD_COUNTS = (1, 2, 4)
+#: Conservative floor for encode→decode→sharded-ingest (reports/second).
+MIN_INGEST_THROUGHPUT = 2e4
 
 
 @pytest.mark.parametrize("name", sorted(available_mechanisms()))
@@ -33,4 +60,83 @@ def test_perturb_throughput(benchmark, name):
     seconds = benchmark.stats.stats.mean
     assert BATCH / seconds > MIN_THROUGHPUT, (
         "%s perturbs only %.0f values/s" % (name, BATCH / seconds)
+    )
+
+
+# --------------------------------------------------------------------------
+# Wire path: encode → decode → sharded ingest → merged estimate
+# --------------------------------------------------------------------------
+
+
+def _wire_workload():
+    """Mixed schema + pre-perturbed report batches (perturbation excluded)."""
+    schema = Schema(
+        [NumericAttribute("x%d" % j) for j in range(WIRE_NUMERIC_DIMS)]
+        + [CategoricalAttribute("category", n_categories=WIRE_CATEGORIES)]
+    )
+    rng = np.random.default_rng(BENCH_SEED)
+    records = np.column_stack(
+        [
+            rng.uniform(-1.0, 1.0, size=(WIRE_USERS, WIRE_NUMERIC_DIMS)),
+            rng.integers(0, WIRE_CATEGORIES, size=WIRE_USERS)[:, None],
+        ]
+    )
+    client = LDPClient(schema, EPSILON, protocols={"category": "oue"})
+    batches = [
+        client.report_batch(chunk, rng)
+        for chunk in np.array_split(records, WIRE_BATCHES)
+    ]
+    return schema, client, batches
+
+
+def _record_wire_result(results_dir, shards: int, payload: dict) -> None:
+    """Merge one shard count's numbers into the machine-readable record."""
+    path = results_dir / "wire_throughput.json"
+    workload = {
+        "users": WIRE_USERS,
+        "batches": WIRE_BATCHES,
+        "numeric_dims": WIRE_NUMERIC_DIMS,
+        "n_categories": WIRE_CATEGORIES,
+        "reports": WIRE_USERS * (WIRE_NUMERIC_DIMS + 1),
+    }
+    document = {}
+    if path.exists():
+        document = json.loads(path.read_text())
+    if document.get("workload") != workload:
+        document = {}  # shape changed: stale numbers would mislead
+    document["benchmark"] = "wire_sharded_ingest"
+    document["workload"] = workload
+    document.setdefault("results", {})[str(shards)] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("shards", WIRE_SHARD_COUNTS)
+def test_wire_sharded_ingest_throughput(benchmark, results_dir, shards):
+    schema, client, batches = _wire_workload()
+    total_reports = WIRE_USERS * schema.dimensions
+
+    def encode_decode_ingest():
+        server = ShardedServer(
+            schema, EPSILON, protocols={"category": "oue"}, shards=shards
+        )
+        for batch in batches:
+            server.ingest_encoded(client.encode(batch))
+        return server.estimate()
+
+    estimate = benchmark(encode_decode_ingest)
+    assert estimate.users == WIRE_USERS
+    seconds = benchmark.stats.stats.mean
+    throughput = total_reports / seconds
+    assert throughput > MIN_INGEST_THROUGHPUT, (
+        "wire path moves only %.0f reports/s over %d shards"
+        % (throughput, shards)
+    )
+    _record_wire_result(
+        results_dir,
+        shards,
+        {
+            "seconds_mean": seconds,
+            "reports_per_second": throughput,
+            "users_per_second": WIRE_USERS / seconds,
+        },
     )

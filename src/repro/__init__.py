@@ -67,11 +67,13 @@ from .analysis import (
 from .exceptions import (
     AggregationError,
     CalibrationError,
+    ContractMismatchError,
     DimensionError,
     DistributionError,
     DomainError,
     PrivacyBudgetError,
     ReproError,
+    WireFormatError,
 )
 from .framework import (
     BerryEsseenBound,
@@ -132,6 +134,13 @@ from .session import (
     ReportBatch,
     Schema,
     SessionEstimate,
+    ShardedServer,
+)
+from .wire import (
+    CollectionContract,
+    decode_batch,
+    encode_batch,
+    read_fingerprint,
 )
 from .datasets import (
     available_datasets,
@@ -154,7 +163,9 @@ __all__ = [
     "CalibrationError",
     "CategoricalAttribute",
     "Client",
+    "CollectionContract",
     "CollectionProtocol",
+    "ContractMismatchError",
     "DeviationModel",
     "DimensionError",
     "DistributionError",
@@ -183,10 +194,12 @@ __all__ = [
     "ReproError",
     "Schema",
     "SessionEstimate",
+    "ShardedServer",
     "SquareWaveMechanism",
     "StaircaseMechanism",
     "UtilityReport",
     "ValueDistribution",
+    "WireFormatError",
     "available_datasets",
     "available_mechanisms",
     "available_oracles",
@@ -198,6 +211,8 @@ __all__ = [
     "compare_estimates",
     "convergence_curve",
     "cov19_like",
+    "decode_batch",
+    "encode_batch",
     "gaussian_dataset",
     "gaussian_fit",
     "get_mechanism",
@@ -209,6 +224,7 @@ __all__ = [
     "mse",
     "normalize",
     "poisson_dataset",
+    "read_fingerprint",
     "recalibrate_l1",
     "recalibrate_l2",
     "register_mechanism",

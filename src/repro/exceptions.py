@@ -35,3 +35,25 @@ class CalibrationError(ReproError, ValueError):
 
 class DistributionError(ReproError, ValueError):
     """Raised when a population value distribution is malformed."""
+
+
+class WireFormatError(ReproError, ValueError):
+    """Raised when encoded bytes or a state document cannot be decoded.
+
+    Covers truncation, corruption (checksum failure), unsupported format
+    versions, and structurally malformed payloads — everything that means
+    "these bytes are not a well-formed artefact", as opposed to a
+    well-formed artefact produced under a different collection contract
+    (that is :class:`ContractMismatchError`).
+    """
+
+
+class ContractMismatchError(ReproError, ValueError):
+    """Raised when an artefact was produced under a different contract.
+
+    Every encoded batch and saved server state embeds the fingerprint of
+    the :class:`~repro.wire.CollectionContract` (schema + budget +
+    per-attribute protocols) it was produced under; a server refuses to
+    ingest, merge or restore anything whose fingerprint disagrees with
+    its own contract instead of aggregating silent garbage.
+    """

@@ -17,7 +17,7 @@ Three studies the paper's analysis calls for but does not tabulate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

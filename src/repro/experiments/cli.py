@@ -71,10 +71,25 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablation", help="HDR4ME design ablations", parents=[common])
     freq = sub.add_parser("frequency", help="Section V-C frequency extension", parents=[common])
     freq.add_argument("--mechanism", default="piecewise")
-    sub.add_parser(
+    collection = sub.add_parser(
         "collection",
         help="mixed-schema streaming collection through the session API",
         parents=[common],
+    )
+    collection.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fan the batch stream over N worker servers, wire-encoding "
+        "every batch (default 1: plain in-memory ingestion)",
+    )
+    collection.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="save the server state to PATH mid-stream, restore into a "
+        "fresh server and resume (exercises save/load + merge; the "
+        "estimates are bit-identical either way)",
     )
     return parser
 
@@ -150,7 +165,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {}
         if quick:
             kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
-        print(run_session_collection(rng=seed, **kwargs).format())
+        result = run_session_collection(
+            shards=args.shards, checkpoint=args.checkpoint, rng=seed, **kwargs
+        )
+        print(result.format())
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

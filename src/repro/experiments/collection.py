@@ -7,6 +7,15 @@ mixing numeric and categorical attributes, reports arriving in streaming
 batches, frequency oracles and numeric mechanisms resolved through the
 same registry, and HDR4ME applied as a composable post-processing step.
 
+With ``shards > 1`` the driver additionally exercises the distributed
+path end to end: every batch is wire-encoded under the client's contract,
+decoded and contract-verified by a :class:`~repro.session.ShardedServer`,
+and estimates are read from the deterministic shard merge. A
+``checkpoint`` path makes the run save, restore and resume the server
+state mid-stream — thanks to exact aggregation both variations are
+bit-identical to the plain in-memory run, so the MSE series doubles as a
+self-check of the distributed plumbing.
+
 For each ε it reports the MSE of the numeric mean vector (raw and
 L1-re-calibrated) and of the categorical frequency vector (histogram
 route vs the OUE oracle), averaged over repeats.
@@ -14,15 +23,23 @@ route vs the OUE oracle), averaged over repeats.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..hdr4me.frequency import postprocess_frequencies, true_frequencies
 from ..hdr4me.recalibrator import Recalibrator
 from ..rng import RngLike, ensure_rng, spawn_children
-from ..session import CategoricalAttribute, LDPClient, LDPServer, NumericAttribute, Schema
+from ..session import (
+    CategoricalAttribute,
+    LDPClient,
+    LDPServer,
+    NumericAttribute,
+    Schema,
+    ShardedServer,
+)
 from .base import SeriesRow, format_series
 from .frequency_experiment import zipf_categories
 
@@ -44,17 +61,27 @@ class CollectionExperimentResult:
     batches: int
     repeats: int
     rows: List[SeriesRow]
+    shards: int = 1
+    checkpointed: bool = False
 
     def format(self) -> str:
+        transport = (
+            "in-memory"
+            if self.shards == 1
+            else "wire-encoded over %d shards" % self.shards
+        )
+        if self.checkpointed:
+            transport += ", checkpoint/resume mid-stream"
         title = (
             "Mixed-schema session collection "
-            "(n=%d, numeric d=%d, v=%d, %d streamed batches, %d repeats)"
+            "(n=%d, numeric d=%d, v=%d, %d streamed batches, %d repeats, %s)"
             % (
                 self.users,
                 self.numeric_dims,
                 self.n_categories,
                 self.batches,
                 self.repeats,
+                transport,
             )
         )
         return format_series(title, "epsilon", COLLECTION_SERIES_LABELS, self.rows)
@@ -73,6 +100,50 @@ def _mixed_records(
     return np.column_stack([numeric, labels])
 
 
+def _collect_stream(
+    schema: Schema,
+    epsilon: float,
+    spec,
+    records: np.ndarray,
+    batches: int,
+    child: np.random.Generator,
+    shards: int,
+    checkpoint: Optional[Union[str, pathlib.Path]],
+) -> Union[LDPServer, ShardedServer]:
+    """Stream one collection round, optionally sharded and checkpointed.
+
+    With ``shards > 1`` every batch travels wire-encoded (contract
+    fingerprint verified on ingest). With a ``checkpoint`` path the
+    server state is saved halfway through the stream, restored into a
+    *fresh* server, and the stream resumed — exercising save/load/merge
+    in-process without changing the estimates by a single bit.
+    """
+    client = LDPClient(schema, epsilon, protocols=spec)
+    server: Union[LDPServer, ShardedServer]
+    if shards > 1:
+        server = ShardedServer(schema, epsilon, protocols=spec, shards=shards)
+    else:
+        server = LDPServer(schema, epsilon, protocols=spec)
+    chunks = np.array_split(records, batches)
+    resume_after = len(chunks) // 2 if checkpoint is not None else None
+    for index, chunk in enumerate(chunks):
+        if shards > 1:
+            server.ingest_encoded(client.report_encoded(chunk, child))
+        else:
+            server.ingest(client.report_batch(chunk, child))
+        if resume_after is not None and index == resume_after:
+            server.save_state(checkpoint)
+            if shards > 1:
+                server = ShardedServer(
+                    schema, epsilon, protocols=spec, shards=shards
+                ).load_state(checkpoint)
+            else:
+                server = LDPServer(schema, epsilon, protocols=spec).load_state(
+                    checkpoint
+                )
+    return server
+
+
 def run_session_collection(
     epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     users: int = 50_000,
@@ -80,6 +151,8 @@ def run_session_collection(
     n_categories: int = 16,
     batches: int = 10,
     repeats: int = 3,
+    shards: int = 1,
+    checkpoint: Optional[Union[str, pathlib.Path]] = None,
     rng: RngLike = None,
 ) -> CollectionExperimentResult:
     """Collect a mixed numeric+categorical schema end to end.
@@ -88,7 +161,9 @@ def run_session_collection(
     splits evenly across them. The categorical attribute is collected
     twice — once through the histogram-encoding route of the numeric
     mechanism and once through the OUE oracle — to compare the two
-    backends under identical conditions.
+    backends under identical conditions. ``shards``/``checkpoint``
+    switch the round onto the distributed path (see
+    :func:`_collect_stream`).
     """
     gen = ensure_rng(rng)
     records = _mixed_records(users, numeric_dims, n_categories, gen)
@@ -110,10 +185,10 @@ def run_session_collection(
         sums = {label: 0.0 for label in COLLECTION_SERIES_LABELS}
         for child in spawn_children(gen, repeats):
             for freq_label, spec in protocol_specs.items():
-                client = LDPClient(schema, epsilon, protocols=spec)
-                server = LDPServer(schema, epsilon, protocols=spec)
-                for chunk in np.array_split(records, batches):
-                    server.ingest(client.report_batch(chunk, child))
+                server = _collect_stream(
+                    schema, epsilon, spec, records, batches, child,
+                    shards, checkpoint,
+                )
                 raw = server.estimate()
                 freq = postprocess_frequencies(
                     raw.frequencies("category"), normalize=True
@@ -140,4 +215,6 @@ def run_session_collection(
         batches=batches,
         repeats=repeats,
         rows=rows,
+        shards=shards,
+        checkpointed=checkpoint is not None,
     )

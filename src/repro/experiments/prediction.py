@@ -12,9 +12,7 @@ the strongest single validation of the framework.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Sequence
 
 from ..analysis.metrics import mse, true_mean
 from ..datasets.loader import load_dataset

@@ -164,6 +164,28 @@ def available_protocols() -> List[str]:
     return sorted(set(_REGISTRY) | set(_PROTOCOLS))
 
 
+def resolve_protocol_name(name: str) -> str:
+    """Canonical (lower-case) registry name of a resolvable protocol.
+
+    Protocol names travel on the wire and inside contract fingerprints
+    (:mod:`repro.wire`), so decoders validate them against this registry
+    before any payload is interpreted.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names when ``name`` is unknown.
+    """
+    _bootstrap_protocols()
+    key = str(name).lower()
+    if key in _PROTOCOLS or key in _REGISTRY:
+        return key
+    raise KeyError(
+        "unknown protocol %r; available: %s"
+        % (name, ", ".join(available_protocols()))
+    )
+
+
 register_mechanism("laplace", LaplaceMechanism)
 register_mechanism("staircase", StaircaseMechanism)
 register_mechanism("scdf", SCDFMechanism)

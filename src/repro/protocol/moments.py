@@ -21,7 +21,7 @@ from ..exceptions import DimensionError
 from ..hdr4me.recalibrator import Recalibrator
 from ..mechanisms.base import AffineTransformedMechanism, Mechanism
 from ..rng import RngLike, ensure_rng
-from .pipeline import MeanEstimationPipeline, build_populations
+from .pipeline import MeanEstimationPipeline
 
 
 def true_variance(data: np.ndarray) -> np.ndarray:

@@ -15,7 +15,13 @@ categorical and which perturbation backend serves them:
 * the unified registry (:func:`repro.mechanisms.registry.get_protocol`)
   resolves numeric mechanisms *and* the GRR/OUE/OLH frequency oracles
   into interchangeable :class:`~repro.session.adapters.CollectionProtocol`
-  backends.
+  backends;
+* the wire layer (:mod:`repro.wire`) carries a round across processes:
+  contract-fingerprinted binary frames (:meth:`LDPClient.report_encoded`
+  → :meth:`LDPServer.ingest_encoded`), exact :meth:`LDPServer.merge`,
+  JSON checkpoints (:meth:`LDPServer.save_state` /
+  :meth:`LDPServer.load_state`), and :class:`ShardedServer`, which fans
+  a batch stream over ``N`` workers with bit-identical merged estimates.
 
 Quickstart::
 
@@ -53,6 +59,7 @@ from .client import (
 )
 from .schema import Attribute, CategoricalAttribute, NumericAttribute, Schema
 from .server import AttributeEstimate, LDPServer, SessionEstimate
+from .sharded import ShardedServer
 from .streaming import StreamingSum
 
 __all__ = [
@@ -70,6 +77,7 @@ __all__ = [
     "ReportBatch",
     "Schema",
     "SessionEstimate",
+    "ShardedServer",
     "StreamingSum",
     "resolve_collectors",
     "sample_attribute_mask",

@@ -38,7 +38,7 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import AggregationError, DimensionError
+from ..exceptions import AggregationError, DimensionError, DomainError, WireFormatError
 from ..framework.deviation import DeviationModel, build_deviation_model
 from ..framework.multivariate import MultivariateDeviationModel
 from ..framework.population import ValueDistribution
@@ -57,6 +57,16 @@ from ..rng import RngLike, ensure_rng
 from .schema import Attribute, CategoricalAttribute, NumericAttribute
 from .streaming import StreamingSum
 
+def _require_snapshot_kind(snapshot: Any, kind: str) -> dict:
+    """Validate a state snapshot's family tag; return the snapshot dict."""
+    if not isinstance(snapshot, dict) or snapshot.get("kind") != kind:
+        raise WireFormatError(
+            "expected a %r state snapshot, got %r"
+            % (kind, snapshot.get("kind") if isinstance(snapshot, dict) else snapshot)
+        )
+    return snapshot
+
+
 class AttributeCollector(abc.ABC):
     """A protocol bound to one attribute and its per-attribute budget.
 
@@ -64,6 +74,17 @@ class AttributeCollector(abc.ABC):
     client-side :meth:`privatize` and the server-side additive state
     (:meth:`new_state` / :meth:`accumulate`) with its readers
     (:meth:`estimate`, :meth:`deviation_model`).
+
+    Validation and accumulation are split so ingestion can be atomic:
+    :meth:`check_payload` validates and canonicalizes a report payload
+    without touching any state, :meth:`fold` accumulates an
+    already-canonical payload, and :meth:`accumulate` composes the two
+    for direct callers. States are mergeable and serializable —
+    :meth:`merge_states` folds one state into another exactly (the float
+    accumulators are exact integers under the hood, see
+    :mod:`repro.session.streaming`), and :meth:`snapshot` /
+    :meth:`restore` round-trip a state through a JSON-able dictionary
+    for checkpointing.
     """
 
     #: Registry name of the protocol that bound this collector (stamped by
@@ -88,8 +109,47 @@ class AttributeCollector(abc.ABC):
         """Fresh additive aggregation state for this attribute."""
 
     @abc.abstractmethod
+    def check_payload(self, payload: Any) -> Any:
+        """Validate one report payload without touching any state.
+
+        Returns the canonical form :meth:`fold` accepts; raises
+        :class:`DimensionError` / :class:`DomainError` on malformed
+        payloads. Ingestion validates every payload of a batch through
+        this *before* accumulating any of them, so a bad attribute can
+        never leave earlier attributes' state partially updated.
+        """
+
+    @abc.abstractmethod
+    def fold(self, state: Any, payload: Any) -> None:
+        """Fold a canonical (already-validated) payload into the state."""
+
     def accumulate(self, state: Any, payload: Any) -> None:
-        """Fold one report payload into the aggregation state."""
+        """Validate and fold one report payload into the state."""
+        self.fold(state, self.check_payload(payload))
+
+    def payload_rows(self, payload: Any) -> int:
+        """Number of user reports a canonical payload carries."""
+        return int(np.asarray(payload).shape[0])
+
+    @abc.abstractmethod
+    def merge_states(self, state: Any, other: Any) -> None:
+        """Fold another aggregation state into ``state`` (exactly).
+
+        Bit-identical to having accumulated the other state's payloads
+        directly; ``other`` is left untouched.
+        """
+
+    @abc.abstractmethod
+    def snapshot(self, state: Any) -> dict:
+        """JSON-serializable snapshot of an aggregation state."""
+
+    @abc.abstractmethod
+    def restore(self, snapshot: dict) -> Any:
+        """Rebuild an aggregation state from :meth:`snapshot` output.
+
+        Raises :class:`~repro.exceptions.WireFormatError` when the
+        snapshot belongs to a different state family or is malformed.
+        """
 
     @abc.abstractmethod
     def reports(self, state: Any) -> int:
@@ -146,6 +206,44 @@ class CollectionProtocol(abc.ABC):
 # --------------------------------------------------------------------------
 
 
+class SumStateMixin:
+    """Merge/snapshot/restore shared by :class:`StreamingSum`-backed states.
+
+    Subclasses set :attr:`state_kind` (the snapshot family tag) and
+    override :meth:`_sum_width` when the state is wider than one column;
+    the state object returned by ``new_state`` must carry its accumulator
+    in a ``sums`` attribute.
+    """
+
+    state_kind: str = "sum"
+
+    def _sum_width(self) -> int:
+        return 1
+
+    def merge_states(self, state: Any, other: Any) -> None:
+        state.sums.merge(other.sums)
+
+    def snapshot(self, state: Any) -> dict:
+        return {"kind": self.state_kind, "sums": state.sums.state_dict()}
+
+    def restore(self, snapshot: dict) -> Any:
+        data = _require_snapshot_kind(snapshot, self.state_kind)
+        sums = StreamingSum.from_state_dict(data.get("sums"))
+        if sums.width != self._sum_width():
+            raise WireFormatError(
+                "attribute %r: %s state must have width %d, got %d"
+                % (
+                    self.attribute.name,
+                    self.state_kind,
+                    self._sum_width(),
+                    sums.width,
+                )
+            )
+        state = self.new_state()
+        state.sums = sums
+        return state
+
+
 class _NumericState:
     """Additive state for one numeric attribute: streaming sum + count."""
 
@@ -155,12 +253,14 @@ class _NumericState:
         self.sums = StreamingSum(width=1)
 
 
-class NumericMechanismCollector(AttributeCollector):
+class NumericMechanismCollector(SumStateMixin, AttributeCollector):
     """Mean estimation for one numeric attribute via a :class:`Mechanism`.
 
     The mechanism is re-domained to the attribute's declared interval when
     they differ, so schemas may mix attribute ranges freely.
     """
+
+    state_kind = "numeric-sum"
 
     def __init__(
         self, mechanism: Mechanism, attribute: NumericAttribute, epsilon: float
@@ -178,8 +278,22 @@ class NumericMechanismCollector(AttributeCollector):
     def new_state(self) -> _NumericState:
         return _NumericState()
 
-    def accumulate(self, state: _NumericState, payload: np.ndarray) -> None:
-        state.sums.add(np.asarray(payload, dtype=np.float64)[:, None])
+    def check_payload(self, payload: Any) -> np.ndarray:
+        arr = np.asarray(payload, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DimensionError(
+                "attribute %r: expected a (k,) numeric report vector, got "
+                "shape %s" % (self.attribute.name, arr.shape)
+            )
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise DomainError(
+                "attribute %r: perturbed reports must be finite"
+                % self.attribute.name
+            )
+        return arr
+
+    def fold(self, state: _NumericState, payload: np.ndarray) -> None:
+        state.sums.add(payload[:, None], assume_finite=True)
 
     def reports(self, state: _NumericState) -> int:
         return state.sums.rows
@@ -214,7 +328,7 @@ class _HistogramState:
         self.sums = StreamingSum(width=n_categories)
 
 
-class HistogramMechanismCollector(AttributeCollector):
+class HistogramMechanismCollector(SumStateMixin, AttributeCollector):
     """Frequency estimation via histogram encoding (paper Section V-C).
 
     Labels are one-hot encoded and every entry is perturbed with
@@ -223,6 +337,11 @@ class HistogramMechanismCollector(AttributeCollector):
     collector inverts the mechanism's affine conditional-mean map to
     calibrate entry means back into frequencies.
     """
+
+    state_kind = "histogram-sum"
+
+    def _sum_width(self) -> int:
+        return self.attribute.n_categories
 
     def __init__(
         self, mechanism: Mechanism, attribute: CategoricalAttribute, epsilon: float
@@ -240,14 +359,22 @@ class HistogramMechanismCollector(AttributeCollector):
     def new_state(self) -> _HistogramState:
         return _HistogramState(self.attribute.n_categories)
 
-    def accumulate(self, state: _HistogramState, payload: np.ndarray) -> None:
+    def check_payload(self, payload: Any) -> np.ndarray:
         matrix = np.asarray(payload, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[1] != self.attribute.n_categories:
             raise DimensionError(
                 "attribute %r: expected (k, %d) histogram payload, got %s"
                 % (self.attribute.name, self.attribute.n_categories, matrix.shape)
             )
-        state.sums.add(matrix)
+        if matrix.size and not np.all(np.isfinite(matrix)):
+            raise DomainError(
+                "attribute %r: perturbed entries must be finite"
+                % self.attribute.name
+            )
+        return matrix
+
+    def fold(self, state: _HistogramState, payload: np.ndarray) -> None:
+        state.sums.add(payload, assume_finite=True)
 
     def reports(self, state: _HistogramState) -> int:
         return state.sums.rows
@@ -359,6 +486,40 @@ class OracleCollector(AttributeCollector):
     def reports(self, state: _OracleState) -> int:
         return state.users
 
+    def merge_states(self, state: _OracleState, other: _OracleState) -> None:
+        state.counts = state.counts + other.counts
+        state.users += other.users
+
+    def snapshot(self, state: _OracleState) -> dict:
+        return {
+            "kind": "oracle-counts",
+            "counts": [int(count) for count in state.counts],
+            "users": int(state.users),
+        }
+
+    def restore(self, snapshot: dict) -> _OracleState:
+        data = _require_snapshot_kind(snapshot, "oracle-counts")
+        try:
+            counts = [int(count) for count in data["counts"]]
+            users = int(data["users"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireFormatError("malformed oracle state: %s" % exc) from None
+        if len(counts) != self.attribute.n_categories or users < 0:
+            raise WireFormatError(
+                "attribute %r: oracle state is inconsistent (%d counts for "
+                "%d categories, users=%d)"
+                % (
+                    self.attribute.name,
+                    len(counts),
+                    self.attribute.n_categories,
+                    users,
+                )
+            )
+        state = _OracleState(self.attribute.n_categories)
+        state.counts = np.asarray(counts, dtype=np.int64)
+        state.users = users
+        return state
+
     def deviation_model(self, state: _OracleState) -> MultivariateDeviationModel:
         self._require_reports(state)
         frequencies = np.clip(self.estimate(state), 0.0, 1.0)
@@ -370,12 +531,28 @@ class GrrCollector(OracleCollector):
 
     oracle_cls = GeneralizedRandomizedResponse
 
-    def accumulate(self, state: _OracleState, payload: np.ndarray) -> None:
-        labels = np.asarray(payload, dtype=np.int64)
+    def check_payload(self, payload: Any) -> np.ndarray:
+        arr = np.asarray(payload)
+        if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
+            raise DimensionError(
+                "attribute %r: expected a (k,) integer label vector, got "
+                "%s of dtype %s" % (self.attribute.name, arr.shape, arr.dtype)
+            )
+        labels = arr.astype(np.int64)
+        if labels.size and (
+            labels.min() < 0 or labels.max() >= self.attribute.n_categories
+        ):
+            raise DomainError(
+                "attribute %r: noisy labels must lie in [0, %d)"
+                % (self.attribute.name, self.attribute.n_categories)
+            )
+        return labels
+
+    def fold(self, state: _OracleState, payload: np.ndarray) -> None:
         state.counts += np.bincount(
-            labels, minlength=self.attribute.n_categories
+            payload, minlength=self.attribute.n_categories
         )
-        state.users += labels.size
+        state.users += payload.size
 
     def estimate(self, state: _OracleState) -> np.ndarray:
         count = self._require_reports(state)
@@ -389,15 +566,23 @@ class OueCollector(OracleCollector):
 
     oracle_cls = OptimizedUnaryEncoding
 
-    def accumulate(self, state: _OracleState, payload: np.ndarray) -> None:
+    def check_payload(self, payload: Any) -> np.ndarray:
         matrix = np.asarray(payload, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[1] != self.attribute.n_categories:
             raise DimensionError(
                 "attribute %r: expected (k, %d) OUE payload, got %s"
                 % (self.attribute.name, self.attribute.n_categories, matrix.shape)
             )
-        state.counts += np.rint(matrix.sum(axis=0)).astype(np.int64)
-        state.users += matrix.shape[0]
+        if matrix.size and not np.all((matrix == 0.0) | (matrix == 1.0)):
+            raise DomainError(
+                "attribute %r: OUE payloads must be 0/1 bit matrices"
+                % self.attribute.name
+            )
+        return matrix
+
+    def fold(self, state: _OracleState, payload: np.ndarray) -> None:
+        state.counts += np.rint(payload.sum(axis=0)).astype(np.int64)
+        state.users += payload.shape[0]
 
     def estimate(self, state: _OracleState) -> np.ndarray:
         count = self._require_reports(state)
@@ -411,13 +596,48 @@ class OlhCollector(OracleCollector):
 
     oracle_cls = OptimizedLocalHashing
 
-    def accumulate(self, state: _OracleState, payload: OlhReports) -> None:
+    def check_payload(self, payload: Any) -> OlhReports:
         if not isinstance(payload, OlhReports):
             raise DimensionError(
                 "attribute %r: expected OlhReports payload" % self.attribute.name
             )
+        seeds = np.asarray(payload.seeds)
+        buckets = np.asarray(payload.buckets)
+        if not (
+            np.issubdtype(seeds.dtype, np.integer)
+            and np.issubdtype(buckets.dtype, np.integer)
+        ):
+            raise DimensionError(
+                "attribute %r: OLH seeds/buckets must be integers, got "
+                "%s/%s" % (self.attribute.name, seeds.dtype, buckets.dtype)
+            )
+        seeds = seeds.astype(np.int64)
+        buckets = buckets.astype(np.int64)
+        if (
+            seeds.ndim != 2
+            or seeds.shape[1] != 2
+            or buckets.ndim != 1
+            or seeds.shape[0] != buckets.size
+        ):
+            raise DimensionError(
+                "attribute %r: OLH payload shapes disagree: seeds %s, "
+                "buckets %s" % (self.attribute.name, seeds.shape, buckets.shape)
+            )
+        if buckets.size and (
+            buckets.min() < 0 or buckets.max() >= self.oracle.n_buckets
+        ):
+            raise DomainError(
+                "attribute %r: OLH buckets must lie in [0, %d)"
+                % (self.attribute.name, self.oracle.n_buckets)
+            )
+        return OlhReports(seeds=seeds, buckets=buckets)
+
+    def fold(self, state: _OracleState, payload: OlhReports) -> None:
         state.counts += self.oracle.support_counts(payload)
         state.users += payload.buckets.size
+
+    def payload_rows(self, payload: OlhReports) -> int:
+        return int(payload.buckets.size)
 
     def estimate(self, state: _OracleState) -> np.ndarray:
         count = self._require_reports(state)

@@ -22,6 +22,8 @@ import numpy as np
 from ..exceptions import DimensionError
 from ..protocol.budget import BudgetPlan
 from ..rng import RngLike, ensure_rng
+from ..wire.codec import encode_batch
+from ..wire.contract import CollectionContract
 from .adapters import AttributeCollector, CollectionProtocol
 from .schema import Schema
 
@@ -209,6 +211,9 @@ class LDPClient:
             epsilon=epsilon, dimensions=schema.dimensions, sampled_dimensions=m
         )
         self.collectors = resolve_collectors(schema, self.plan, protocols)
+        self.contract = CollectionContract.for_session(
+            schema, self.plan, self.collectors
+        )
 
     def report_batch(self, records: np.ndarray, rng: RngLike = None) -> ReportBatch:
         """Sample, perturb and package an ``(n, d)`` batch of records."""
@@ -240,3 +245,16 @@ class LDPClient:
         """Sample, perturb and package one user's record."""
         arr = self.schema.validate_record(record)
         return self.report_batch(arr[None, :], rng)
+
+    def encode(self, batch: ReportBatch) -> bytes:
+        """Encode a batch for the wire under this client's contract."""
+        return encode_batch(batch, self.contract)
+
+    def report_encoded(self, records: np.ndarray, rng: RngLike = None) -> bytes:
+        """Sample, perturb and wire-encode an ``(n, d)`` batch of records.
+
+        The produced frame embeds the client's contract fingerprint; a
+        server constructed under the same schema/budget/protocols accepts
+        it via :meth:`~repro.session.LDPServer.ingest_encoded`.
+        """
+        return self.encode(self.report_batch(records, rng))

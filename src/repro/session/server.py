@@ -24,16 +24,26 @@ through constructors.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import AggregationError, DimensionError
+from ..exceptions import AggregationError, DimensionError, WireFormatError
 from ..framework.multivariate import MultivariateDeviationModel
 from ..protocol.budget import BudgetPlan
+from ..wire.codec import decode_batch
+from ..wire.contract import CollectionContract
 from .client import ProtocolSpec, ReportBatch, resolve_collectors
 from .schema import Schema
+
+#: Identifier and version of the JSON checkpoint documents written by
+#: :meth:`LDPServer.save_state`.
+STATE_FORMAT = "repro-ldp-server-state"
+STATE_VERSION = 1
 
 #: A post-processing step: a :class:`~repro.hdr4me.Recalibrator` (anything
 #: with a ``recalibrate(theta_hat, model)`` method) or a plain callable
@@ -171,6 +181,9 @@ class LDPServer:
             epsilon=epsilon, dimensions=schema.dimensions, sampled_dimensions=m
         )
         self.collectors = resolve_collectors(schema, self.plan, protocols)
+        self.contract = CollectionContract.for_session(
+            schema, self.plan, self.collectors
+        )
         self._states: Dict[str, Any] = {
             name: collector.new_state()
             for name, collector in self.collectors.items()
@@ -191,33 +204,102 @@ class LDPServer:
             for name, collector in self.collectors.items()
         }
 
+    def _validate_batch(self, batch: ReportBatch) -> Tuple[int, Dict[str, Any]]:
+        """Validate every payload of a batch without touching any state.
+
+        Returns ``(users, canonical payloads by attribute name)``;
+        raising here leaves the server exactly as it was.
+        """
+        unknown = set(batch.payloads) - set(self.collectors)
+        if unknown:
+            raise DimensionError(
+                "batch reports unknown attributes: %s"
+                % ", ".join(sorted(unknown))
+            )
+        users = int(batch.users)
+        if users < 0:
+            raise DimensionError("batch user count must be >= 0, got %d" % users)
+        canonical: Dict[str, Any] = {}
+        for name, payload in batch.payloads.items():
+            collector = self.collectors[name]
+            declared = batch.protocols.get(name)
+            if declared is not None and declared != collector.protocol_name:
+                raise DimensionError(
+                    "attribute %r: batch was produced by protocol %r "
+                    "but this server aggregates with %r"
+                    % (name, declared, collector.protocol_name)
+                )
+            canonical[name] = collector.check_payload(payload)
+            rows = collector.payload_rows(canonical[name])
+            count = int(batch.counts[name])
+            if rows != count:
+                raise DimensionError(
+                    "attribute %r: batch declares %d reports but the "
+                    "payload carries %d" % (name, count, rows)
+                )
+            if count > users:
+                raise DimensionError(
+                    "attribute %r: %d reports from a batch of %d users "
+                    "(each user reports an attribute at most once)"
+                    % (name, count, users)
+                )
+        return users, canonical
+
+    def _fold_validated(self, users: int, canonical: Mapping[str, Any]) -> None:
+        """Accumulate one batch's canonical payloads (validation done)."""
+        for name, payload in canonical.items():
+            self.collectors[name].fold(self._states[name], payload)
+        self._users += users
+
     def ingest(
         self, reports: Union[ReportBatch, Iterable[ReportBatch]]
     ) -> "LDPServer":
         """Fold one batch — or an iterable of batches — into the state.
 
+        Ingestion is atomic per call: every payload of every batch is
+        validated (protocol name, shape, value domain, report counts)
+        *before* anything is accumulated, so a malformed attribute can
+        never leave earlier attributes' state partially updated.
+
         Returns ``self`` so streaming loops can chain
         ``server.ingest(batch).estimate()``.
         """
         batches = [reports] if isinstance(reports, ReportBatch) else list(reports)
-        for batch in batches:
-            unknown = set(batch.payloads) - set(self.collectors)
-            if unknown:
-                raise DimensionError(
-                    "batch reports unknown attributes: %s"
-                    % ", ".join(sorted(unknown))
-                )
-            for name, payload in batch.payloads.items():
-                declared = batch.protocols.get(name)
-                expected = self.collectors[name].protocol_name
-                if declared is not None and declared != expected:
-                    raise DimensionError(
-                        "attribute %r: batch was produced by protocol %r "
-                        "but this server aggregates with %r"
-                        % (name, declared, expected)
-                    )
-                self.collectors[name].accumulate(self._states[name], payload)
-            self._users += batch.users
+        validated: List[Tuple[int, Dict[str, Any]]] = [
+            self._validate_batch(batch) for batch in batches
+        ]
+        for users, canonical in validated:
+            self._fold_validated(users, canonical)
+        return self
+
+    def ingest_encoded(self, data: bytes) -> "LDPServer":
+        """Decode one wire frame and fold it into the state.
+
+        The frame's embedded contract fingerprint must match this
+        server's :attr:`contract`; mismatches raise
+        :class:`~repro.exceptions.ContractMismatchError` and malformed
+        bytes raise :class:`~repro.exceptions.WireFormatError`, in both
+        cases before any state is touched.
+        """
+        return self.ingest(decode_batch(data, contract=self.contract))
+
+    def merge(self, other: "LDPServer") -> "LDPServer":
+        """Fold another server's accumulated state into this one.
+
+        Both servers must share the collection contract (schema, budget
+        and per-attribute protocols). The merge is exact: estimates after
+        merging are bit-identical to having ingested the other server's
+        batches directly, in any order — which is what makes
+        shard-parallel ingestion reproducible.
+        """
+        if not isinstance(other, LDPServer):
+            raise DimensionError(
+                "can only merge another LDPServer, got %s" % type(other).__name__
+            )
+        self.contract.require_digest(other.contract.digest, "merged server state")
+        for name, collector in self.collectors.items():
+            collector.merge_states(self._states[name], other._states[name])
+        self._users += other._users
         return self
 
     def reset(self) -> None:
@@ -225,6 +307,99 @@ class LDPServer:
         for name, collector in self.collectors.items():
             self._states[name] = collector.new_state()
         self._users = 0
+
+    # --------------------------------------------------------- checkpoints
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the full aggregation state.
+
+        The document embeds the contract fingerprint (and its readable
+        description); :meth:`load_state_dict` refuses snapshots produced
+        under a different contract.
+        """
+        return {
+            "format": STATE_FORMAT,
+            "state_version": STATE_VERSION,
+            "fingerprint": self.contract.fingerprint,
+            "contract": self.contract.describe(),
+            "users": self._users,
+            "attributes": {
+                name: collector.snapshot(self._states[name])
+                for name, collector in self.collectors.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> "LDPServer":
+        """Replace this server's state with a :meth:`state_dict` snapshot.
+
+        All-or-nothing: the current state is swapped out only after the
+        whole snapshot restored cleanly.
+        """
+        if not isinstance(state, Mapping) or state.get("format") != STATE_FORMAT:
+            raise WireFormatError(
+                "not a %r document: %r" % (STATE_FORMAT, state)
+            )
+        if state.get("state_version") != STATE_VERSION:
+            raise WireFormatError(
+                "unsupported state version %r (this build speaks %d)"
+                % (state.get("state_version"), STATE_VERSION)
+            )
+        fingerprint = state.get("fingerprint")
+        try:
+            digest = bytes.fromhex(fingerprint)
+        except (TypeError, ValueError):
+            raise WireFormatError(
+                "malformed state fingerprint: %r" % (fingerprint,)
+            ) from None
+        self.contract.require_digest(digest, "saved server state")
+        attributes = state.get("attributes")
+        if not isinstance(attributes, Mapping) or set(attributes) != set(
+            self.collectors
+        ):
+            raise WireFormatError(
+                "state document covers attributes %s but the contract has %s"
+                % (
+                    sorted(attributes) if isinstance(attributes, Mapping) else None,
+                    sorted(self.collectors),
+                )
+            )
+        users = state.get("users")
+        if not isinstance(users, int) or isinstance(users, bool) or users < 0:
+            raise WireFormatError("malformed user count: %r" % (users,))
+        restored = {
+            name: collector.restore(attributes[name])
+            for name, collector in self.collectors.items()
+        }
+        self._states = restored
+        self._users = users
+        return self
+
+    def save_state(self, path: Union[str, pathlib.Path]) -> None:
+        """Checkpoint the aggregation state to a JSON file.
+
+        The write is atomic (temp file + rename in the same directory),
+        so a crash mid-checkpoint can never destroy the previous good
+        checkpoint.
+        """
+        target = pathlib.Path(path)
+        document = json.dumps(self.state_dict(), sort_keys=True)
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_text(document + "\n")
+        os.replace(scratch, target)
+
+    def load_state(self, path: Union[str, pathlib.Path]) -> "LDPServer":
+        """Resume from a :meth:`save_state` checkpoint (exactly).
+
+        A restored server continues the round with estimates
+        bit-identical to one that never restarted.
+        """
+        try:
+            document = json.loads(pathlib.Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise WireFormatError(
+                "state file %s is not valid JSON: %s" % (path, exc)
+            ) from None
+        return self.load_state_dict(document)
 
     # ------------------------------------------------------------ estimate
 

@@ -1,0 +1,39 @@
+"""Wire layer of the distributed collection API.
+
+Everything a collection round needs to leave one Python process:
+
+* :class:`CollectionContract` — the schema + budget + per-attribute
+  protocol agreement as a value object with a stable 16-byte fingerprint;
+* :func:`encode_batch` / :func:`decode_batch` — a versioned,
+  self-describing, CRC-protected binary codec for every report payload
+  family (numeric vectors, histogram/OUE matrices, GRR labels, OLH
+  ``(seed, bucket)`` pairs), bit-exact on round trip;
+* :func:`read_fingerprint` — peek at a frame's contract fingerprint
+  without decoding payloads (e.g. for routing).
+
+Servers embed and verify the fingerprint automatically:
+:meth:`~repro.session.LDPServer.ingest_encoded` refuses frames produced
+under a different contract with
+:class:`~repro.exceptions.ContractMismatchError`, and malformed bytes
+raise :class:`~repro.exceptions.WireFormatError`.
+"""
+
+from .codec import (
+    MAGIC,
+    WIRE_VERSION,
+    decode_batch,
+    encode_batch,
+    read_fingerprint,
+)
+from .contract import CONTRACT_VERSION, DIGEST_SIZE, CollectionContract
+
+__all__ = [
+    "CONTRACT_VERSION",
+    "CollectionContract",
+    "DIGEST_SIZE",
+    "MAGIC",
+    "WIRE_VERSION",
+    "decode_batch",
+    "encode_batch",
+    "read_fingerprint",
+]

@@ -1,0 +1,327 @@
+"""Versioned binary wire format for report batches.
+
+``encode_batch`` turns a :class:`~repro.session.ReportBatch` into a
+self-describing byte string; ``decode_batch`` turns it back, bit for bit.
+The format is deliberately simple — little-endian structs and raw array
+bytes — and strict: a decoder rejects bad magic, unknown versions,
+truncated or corrupted buffers (CRC-32 over the whole frame), malformed
+attribute blocks, unknown protocol names, and batches produced under a
+different :class:`~repro.wire.CollectionContract`.
+
+Frame layout (version 1, all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"LDPW"
+    4       2     wire version (= 1)
+    6       16    contract digest (SHA-256 prefix, see repro.wire.contract)
+    22      8     users in the batch (u64)
+    30      4     number of attribute blocks (u32)
+    34      ...   attribute blocks, in batch order
+    end-4   4     CRC-32 of everything before it
+
+Attribute block::
+
+    2     attribute-name length   } utf-8 bytes follow each length
+    2     protocol-name length    }
+    8     contributing users k (u64)
+    1     payload family tag
+    ...   family-specific payload
+
+Payload families cover every report representation the registered
+protocols produce:
+
+    0  FLOAT_VECTOR  k float64            numeric mechanism reports
+    1  FLOAT_MATRIX  u32 width, k*width   histogram / OUE bit matrices
+                     float64
+    2  INT_VECTOR    k int64              GRR noisy labels
+    3  OLH_REPORTS   k*2 int64 seeds,     OLH (seed, bucket) pairs
+                     k int64 buckets
+
+Arrays are serialized as raw little-endian bytes, so ``decode(encode(b))``
+reproduces payloads exactly — ingesting a decoded batch yields estimates
+bit-identical to ingesting the in-memory original.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import WireFormatError
+from ..freq_oracles.olh import OlhReports
+from .contract import DIGEST_SIZE, CollectionContract
+
+MAGIC = b"LDPW"
+WIRE_VERSION = 1
+
+FLOAT_VECTOR = 0
+FLOAT_MATRIX = 1
+INT_VECTOR = 2
+OLH_REPORTS = 3
+
+_HEADER = struct.Struct("<4sH%dsQI" % DIGEST_SIZE)
+_ATTR_HEAD = struct.Struct("<HHQB")
+_U32 = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+_FLOAT = np.dtype("<f8")
+_INT = np.dtype("<i8")
+
+
+# --------------------------------------------------------------------------
+# Encoding
+# --------------------------------------------------------------------------
+
+
+def _encode_payload(name: str, payload: Any, count: int) -> bytes:
+    """Serialize one attribute payload as ``family tag + body``."""
+    if isinstance(payload, OlhReports):
+        seeds = np.ascontiguousarray(payload.seeds, dtype=_INT)
+        buckets = np.ascontiguousarray(payload.buckets, dtype=_INT)
+        if seeds.shape != (count, 2) or buckets.shape != (count,):
+            raise WireFormatError(
+                "attribute %r: OLH payload shapes %s/%s disagree with "
+                "count %d" % (name, seeds.shape, buckets.shape, count)
+            )
+        return bytes([OLH_REPORTS]) + seeds.tobytes() + buckets.tobytes()
+    array = np.asarray(payload)
+    if np.issubdtype(array.dtype, np.integer) and array.ndim == 1:
+        if array.shape != (count,):
+            raise WireFormatError(
+                "attribute %r: payload has %d rows but count is %d"
+                % (name, array.shape[0], count)
+            )
+        return bytes([INT_VECTOR]) + np.ascontiguousarray(array, _INT).tobytes()
+    if np.issubdtype(array.dtype, np.floating):
+        if array.ndim == 1:
+            if array.shape != (count,):
+                raise WireFormatError(
+                    "attribute %r: payload has %d rows but count is %d"
+                    % (name, array.shape[0], count)
+                )
+            return bytes([FLOAT_VECTOR]) + np.ascontiguousarray(
+                array, _FLOAT
+            ).tobytes()
+        if array.ndim == 2:
+            if array.shape[0] != count:
+                raise WireFormatError(
+                    "attribute %r: payload has %d rows but count is %d"
+                    % (name, array.shape[0], count)
+                )
+            return (
+                bytes([FLOAT_MATRIX])
+                + _U32.pack(array.shape[1])
+                + np.ascontiguousarray(array, _FLOAT).tobytes()
+            )
+    raise WireFormatError(
+        "attribute %r: no wire family for payload of type %s"
+        % (name, type(payload).__name__)
+    )
+
+
+def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
+    """Encode a :class:`~repro.session.ReportBatch` under ``contract``.
+
+    The contract's digest is embedded in the frame header; decoders
+    (and :meth:`LDPServer.ingest_encoded`) verify it before aggregating.
+    Raises :class:`WireFormatError` if the batch names attributes or
+    protocols outside the contract.
+    """
+    expected = dict(zip(contract.schema.names, contract.protocols))
+    parts = [
+        _HEADER.pack(
+            MAGIC, WIRE_VERSION, contract.digest, batch.users, len(batch.payloads)
+        )
+    ]
+    for name, payload in batch.payloads.items():
+        if name not in expected:
+            raise WireFormatError(
+                "batch reports attribute %r which the contract does not "
+                "declare (contract covers: %s)"
+                % (name, ", ".join(contract.schema.names))
+            )
+        protocol = batch.protocols.get(name, expected[name])
+        if protocol != expected[name]:
+            raise WireFormatError(
+                "attribute %r: batch was produced by protocol %r but the "
+                "contract declares %r" % (name, protocol, expected[name])
+            )
+        count = int(batch.counts[name])
+        name_bytes = name.encode("utf-8")
+        protocol_bytes = protocol.encode("utf-8")
+        body = _encode_payload(name, payload, count)
+        parts.append(
+            _ATTR_HEAD.pack(len(name_bytes), len(protocol_bytes), count, body[0])
+        )
+        parts.append(name_bytes)
+        parts.append(protocol_bytes)
+        parts.append(body[1:])
+    frame = b"".join(parts)
+    return frame + _CRC.pack(zlib.crc32(frame))
+
+
+# --------------------------------------------------------------------------
+# Decoding
+# --------------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over an immutable byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, size: int, what: str) -> bytes:
+        if size < 0 or self.offset + size > len(self.data):
+            raise WireFormatError(
+                "truncated wire batch: needed %d bytes for %s at offset %d "
+                "but only %d remain"
+                % (size, what, self.offset, len(self.data) - self.offset)
+            )
+        chunk = self.data[self.offset : self.offset + size]
+        self.offset += size
+        return chunk
+
+    def unpack(self, fmt: struct.Struct, what: str) -> Tuple[Any, ...]:
+        return fmt.unpack(self.take(fmt.size, what))
+
+    def array(self, dtype: np.dtype, count: int, what: str) -> np.ndarray:
+        raw = self.take(count * dtype.itemsize, what)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset == len(self.data)
+
+
+def _decode_payload(reader: _Reader, family: int, count: int, name: str) -> Any:
+    """Deserialize one attribute payload of the given family."""
+    if family == FLOAT_VECTOR:
+        return reader.array(_FLOAT, count, "attribute %r values" % name)
+    if family == FLOAT_MATRIX:
+        (width,) = reader.unpack(_U32, "attribute %r matrix width" % name)
+        if width < 1:
+            raise WireFormatError(
+                "attribute %r: matrix width must be >= 1, got %d" % (name, width)
+            )
+        values = reader.array(
+            _FLOAT, count * width, "attribute %r matrix" % name
+        )
+        return values.reshape(count, width)
+    if family == INT_VECTOR:
+        return reader.array(_INT, count, "attribute %r labels" % name)
+    if family == OLH_REPORTS:
+        seeds = reader.array(_INT, count * 2, "attribute %r seeds" % name)
+        buckets = reader.array(_INT, count, "attribute %r buckets" % name)
+        return OlhReports(seeds=seeds.reshape(count, 2), buckets=buckets)
+    raise WireFormatError(
+        "attribute %r: unknown payload family %d" % (name, family)
+    )
+
+
+def read_fingerprint(data: bytes) -> str:
+    """Peek the contract fingerprint of an encoded batch (hex form)."""
+    reader = _Reader(bytes(data))
+    magic, version, digest, _, _ = reader.unpack(_HEADER, "frame header")
+    if magic != MAGIC:
+        raise WireFormatError(
+            "not a wire batch: bad magic %r (expected %r)" % (magic, MAGIC)
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            "unsupported wire version %d (this build speaks %d)"
+            % (version, WIRE_VERSION)
+        )
+    return bytes(digest).hex()
+
+
+def decode_batch(
+    data: bytes, contract: Optional[CollectionContract] = None
+) -> Any:
+    """Decode one frame back into a :class:`~repro.session.ReportBatch`.
+
+    Parameters
+    ----------
+    data:
+        Bytes produced by :func:`encode_batch`.
+    contract:
+        When given, the embedded digest must match the contract's —
+        otherwise :class:`~repro.exceptions.ContractMismatchError` is
+        raised *before* any payload is interpreted.
+
+    Raises
+    ------
+    WireFormatError
+        On bad magic, unsupported versions, truncation, CRC failure,
+        malformed attribute blocks, or unknown protocol names.
+    """
+    from ..session.client import ReportBatch
+
+    data = bytes(data)
+    if len(data) < _HEADER.size + _CRC.size:
+        raise WireFormatError(
+            "truncated wire batch: %d bytes is shorter than the minimal "
+            "frame (%d)" % (len(data), _HEADER.size + _CRC.size)
+        )
+    reader = _Reader(data[: -_CRC.size])
+    magic, version, digest, users, n_attributes = reader.unpack(
+        _HEADER, "frame header"
+    )
+    if magic != MAGIC:
+        raise WireFormatError(
+            "not a wire batch: bad magic %r (expected %r)" % (magic, MAGIC)
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            "unsupported wire version %d (this build speaks %d)"
+            % (version, WIRE_VERSION)
+        )
+    (stored_crc,) = _CRC.unpack(data[-_CRC.size :])
+    if zlib.crc32(reader.data) != stored_crc:
+        raise WireFormatError(
+            "corrupted wire batch: CRC-32 mismatch (bytes damaged in "
+            "transit or at rest)"
+        )
+    if contract is not None:
+        contract.require_digest(bytes(digest), "encoded batch")
+
+    from ..mechanisms.registry import resolve_protocol_name
+
+    payloads: Dict[str, Any] = {}
+    counts: Dict[str, int] = {}
+    protocols: Dict[str, str] = {}
+    for _ in range(n_attributes):
+        name_len, protocol_len, count, family = reader.unpack(
+            _ATTR_HEAD, "attribute header"
+        )
+        try:
+            name = reader.take(name_len, "attribute name").decode("utf-8")
+            protocol = reader.take(protocol_len, "protocol name").decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("malformed attribute block: %s" % exc) from None
+        if not name or name in payloads:
+            raise WireFormatError(
+                "malformed attribute block: empty or duplicate name %r" % name
+            )
+        try:
+            protocol = resolve_protocol_name(protocol)
+        except KeyError as exc:
+            raise WireFormatError(
+                "attribute %r reports an unresolvable protocol: %s"
+                % (name, exc.args[0])
+            ) from None
+        payloads[name] = _decode_payload(reader, family, count, name)
+        counts[name] = count
+        protocols[name] = protocol
+    if not reader.exhausted:
+        raise WireFormatError(
+            "malformed wire batch: %d trailing bytes after the last "
+            "attribute block" % (len(reader.data) - reader.offset)
+        )
+    return ReportBatch(
+        users=users, payloads=payloads, counts=counts, protocols=protocols
+    )

@@ -1,0 +1,141 @@
+"""Collection contracts: the client/server agreement as a value object.
+
+A collection round is only meaningful when both sides agree on three
+things — the record schema, the privacy budget (``ε`` and the sampled
+``m``), and which perturbation protocol serves each attribute. PR 1 left
+that agreement out of band ("construct client and server with the same
+arguments"); once reports travel between processes that is no longer
+enforceable by convention, so this module turns the agreement into a
+:class:`CollectionContract` with a stable :attr:`~CollectionContract.digest`
+that every encoded batch and saved server state embeds. A server compares
+fingerprints before aggregating anything and raises
+:class:`~repro.exceptions.ContractMismatchError` on disagreement.
+
+Fingerprint semantics: the digest is the first 16 bytes of the SHA-256 of
+a canonical JSON description (sorted keys, exact ``float.hex`` budgets,
+attributes in schema order with their protocol names). Two contracts
+fingerprint equally iff they describe the same schema shape, the same
+budget split, and the same per-attribute protocols — estimator-relevant
+configuration only, never process-local state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Tuple
+
+from ..exceptions import ContractMismatchError, DimensionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..protocol.budget import BudgetPlan
+    from ..session.schema import Schema
+
+#: Version of the canonical description the fingerprint hashes. Bump it
+#: whenever the description's structure changes — old fingerprints must
+#: not collide with new ones by accident.
+CONTRACT_VERSION = 1
+
+#: Bytes of SHA-256 kept as the wire-embedded digest.
+DIGEST_SIZE = 16
+
+
+@dataclass(frozen=True)
+class CollectionContract:
+    """The schema + budget + protocol agreement of one collection round.
+
+    Attributes
+    ----------
+    schema:
+        The record :class:`~repro.session.Schema`.
+    epsilon:
+        Collective per-user privacy budget ``ε``.
+    sampled_attributes:
+        The ``m`` of the protocol (attributes each user reports).
+    protocols:
+        Per-attribute protocol registry names, in schema order.
+    """
+
+    schema: "Schema"
+    epsilon: float
+    sampled_attributes: int
+    protocols: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.protocols) != self.schema.dimensions:
+            raise DimensionError(
+                "contract names %d protocols for %d attributes"
+                % (len(self.protocols), self.schema.dimensions)
+            )
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(
+            self, "sampled_attributes", int(self.sampled_attributes)
+        )
+        object.__setattr__(
+            self, "protocols", tuple(str(p) for p in self.protocols)
+        )
+
+    @classmethod
+    def for_session(
+        cls,
+        schema: "Schema",
+        plan: "BudgetPlan",
+        collectors: Mapping[str, Any],
+    ) -> "CollectionContract":
+        """Contract of a session client/server (shared constructor path)."""
+        return cls(
+            schema=schema,
+            epsilon=plan.epsilon,
+            sampled_attributes=plan.sampled_dimensions,
+            protocols=tuple(
+                collectors[attr.name].protocol_name for attr in schema
+            ),
+        )
+
+    # ----------------------------------------------------------- fingerprint
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (the fingerprint's preimage)."""
+        attributes = []
+        for attr, protocol in zip(self.schema, self.protocols):
+            entry: Dict[str, Any] = {
+                "name": attr.name,
+                "kind": attr.kind,
+                "protocol": protocol,
+            }
+            if attr.kind == "numeric":
+                entry["domain"] = [float(edge).hex() for edge in attr.domain]
+            else:
+                entry["n_categories"] = attr.n_categories
+            attributes.append(entry)
+        return {
+            "contract_version": CONTRACT_VERSION,
+            "epsilon": float(self.epsilon).hex(),
+            "dimensions": self.schema.dimensions,
+            "sampled_attributes": self.sampled_attributes,
+            "attributes": attributes,
+        }
+
+    @cached_property
+    def digest(self) -> bytes:
+        """16-byte fingerprint embedded in every encoded batch/state."""
+        canonical = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).digest()[:DIGEST_SIZE]
+
+    @property
+    def fingerprint(self) -> str:
+        """Hex form of :attr:`digest` (32 characters)."""
+        return self.digest.hex()
+
+    def require_digest(self, digest: bytes, source: str) -> None:
+        """Raise :class:`ContractMismatchError` unless ``digest`` matches."""
+        if digest != self.digest:
+            raise ContractMismatchError(
+                "%s was produced under contract %s but this side expects %s "
+                "(schema, budget, and per-attribute protocols must agree)"
+                % (source, bytes(digest).hex(), self.fingerprint)
+            )

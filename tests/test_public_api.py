@@ -16,6 +16,8 @@ SUBPACKAGES = [
     "repro.hdr4me",
     "repro.mechanisms",
     "repro.protocol",
+    "repro.session",
+    "repro.wire",
 ]
 
 

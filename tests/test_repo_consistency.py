@@ -9,8 +9,6 @@ from __future__ import annotations
 import pathlib
 import re
 
-import pytest
-
 REPO = pathlib.Path(__file__).resolve().parents[1]
 
 

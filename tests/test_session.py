@@ -346,6 +346,82 @@ class TestServerBehaviour:
         counts = server.report_counts()
         assert sum(counts.values()) == 900
 
+    def test_ingest_is_atomic_across_attributes(self, rng):
+        """A malformed attribute mid-batch must not leave earlier
+        attributes' state partially updated."""
+        client = LDPClient(MIXED, epsilon=2.0)
+        server = LDPServer(MIXED, epsilon=2.0)
+        good = client.report_batch(mixed_records(200), rng)
+        server.ingest(good)
+        before = server.estimate()
+        before_counts = server.report_counts()
+
+        bad = client.report_batch(mixed_records(100, seed=9), rng)
+        payloads = dict(bad.payloads)
+        payloads["c"] = np.ones((100, 99))  # wrong histogram width
+        malformed = ReportBatch(
+            users=bad.users,
+            payloads=payloads,
+            counts=dict(bad.counts),
+            protocols=dict(bad.protocols),
+        )
+        with pytest.raises(DimensionError):
+            server.ingest(malformed)
+
+        assert server.users == 200
+        assert server.report_counts() == before_counts
+        after = server.estimate()
+        for x, y in zip(before.attributes, after.attributes):
+            assert np.array_equal(x.raw, y.raw), x.name
+
+    def test_ingest_validates_counts_against_payloads(self, rng):
+        client = LDPClient(MIXED, epsilon=2.0)
+        server = LDPServer(MIXED, epsilon=2.0)
+        batch = client.report_batch(mixed_records(50), rng)
+        lying = ReportBatch(
+            users=batch.users,
+            payloads=batch.payloads,
+            counts={name: count + 1 for name, count in batch.counts.items()},
+            protocols=batch.protocols,
+        )
+        with pytest.raises(DimensionError, match="declares"):
+            server.ingest(lying)
+        assert server.users == 0
+
+    def test_ingest_validates_users_against_counts(self, rng):
+        """A frame lying about its user count must not skew accounting."""
+        client = LDPClient(MIXED, epsilon=2.0)
+        server = LDPServer(MIXED, epsilon=2.0)
+        batch = client.report_batch(mixed_records(50), rng)
+        understated = ReportBatch(
+            users=0,
+            payloads=batch.payloads,
+            counts=batch.counts,
+            protocols=batch.protocols,
+        )
+        with pytest.raises(DimensionError, match="at most once"):
+            server.ingest(understated)
+        assert server.users == 0
+        assert sum(server.report_counts().values()) == 0
+
+    def test_ingest_rejects_non_finite_reports(self, rng):
+        client = LDPClient(MIXED, epsilon=2.0)
+        server = LDPServer(MIXED, epsilon=2.0)
+        batch = client.report_batch(mixed_records(20), rng)
+        payloads = dict(batch.payloads)
+        poisoned = np.asarray(payloads["a"], dtype=np.float64).copy()
+        poisoned[0] = np.inf
+        payloads["a"] = poisoned
+        evil = ReportBatch(
+            users=batch.users,
+            payloads=payloads,
+            counts=batch.counts,
+            protocols=batch.protocols,
+        )
+        with pytest.raises(DomainError):
+            server.ingest(evil)
+        assert server.users == 0
+
     def test_callable_postprocess_supported(self, rng):
         client = LDPClient(MIXED, epsilon=4.0)
         server = LDPServer(MIXED, epsilon=4.0)
