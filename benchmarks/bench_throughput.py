@@ -13,23 +13,26 @@ honest. Two families:
   merged estimate. Reports/second land in
   ``benchmarks/results/wire_throughput.json`` as a machine-readable
   record for the performance trajectory across PRs.
+* **socket ingestion**: the same workload end-to-end over localhost TCP
+  — concurrent :class:`~repro.transport.AsyncReportSender` clients
+  handshake a :func:`~repro.transport.serve_collection` gateway, ship
+  length-prefixed frames through the acked/backpressured path, and the
+  gateway drains-and-merges. Frames/second and MB/second land in the
+  same JSON record under ``"socket"``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 
 import numpy as np
 import pytest
 
+from repro.experiments.collection import mixed_schema
 from repro.mechanisms import available_mechanisms, get_mechanism
-from repro.session import (
-    CategoricalAttribute,
-    LDPClient,
-    NumericAttribute,
-    Schema,
-    ShardedServer,
-)
+from repro.session import LDPClient, ShardedServer
+from repro.transport import AsyncReportSender, serve_collection
 from bench_config import BENCH_SEED
 
 BATCH = 500_000
@@ -70,10 +73,7 @@ def test_perturb_throughput(benchmark, name):
 
 def _wire_workload():
     """Mixed schema + pre-perturbed report batches (perturbation excluded)."""
-    schema = Schema(
-        [NumericAttribute("x%d" % j) for j in range(WIRE_NUMERIC_DIMS)]
-        + [CategoricalAttribute("category", n_categories=WIRE_CATEGORIES)]
-    )
+    schema = mixed_schema(WIRE_NUMERIC_DIMS, WIRE_CATEGORIES)
     rng = np.random.default_rng(BENCH_SEED)
     records = np.column_stack(
         [
@@ -89,8 +89,10 @@ def _wire_workload():
     return schema, client, batches
 
 
-def _record_wire_result(results_dir, shards: int, payload: dict) -> None:
-    """Merge one shard count's numbers into the machine-readable record."""
+def _record_wire_result(
+    results_dir, shards: int, payload: dict, section: str = "results"
+) -> None:
+    """Merge one measurement into the machine-readable record."""
     path = results_dir / "wire_throughput.json"
     workload = {
         "users": WIRE_USERS,
@@ -104,9 +106,16 @@ def _record_wire_result(results_dir, shards: int, payload: dict) -> None:
         document = json.loads(path.read_text())
     if document.get("workload") != workload:
         document = {}  # shape changed: stale numbers would mislead
-    document["benchmark"] = "wire_sharded_ingest"
+    # One record, two benchmark families: "results" holds the in-process
+    # wire path (encode→decode→sharded ingest), "socket" the end-to-end
+    # TCP path — label the file by what distinguishes the sections.
+    document["benchmark"] = "wire_throughput"
+    document["sections"] = {
+        "results": "wire_sharded_ingest",
+        "socket": "socket_ingest",
+    }
     document["workload"] = workload
-    document.setdefault("results", {})[str(shards)] = payload
+    document.setdefault(section, {})[str(shards)] = payload
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
 
@@ -139,4 +148,75 @@ def test_wire_sharded_ingest_throughput(benchmark, results_dir, shards):
             "reports_per_second": throughput,
             "users_per_second": WIRE_USERS / seconds,
         },
+    )
+
+
+# --------------------------------------------------------------------------
+# Socket path: handshake → framed sends → gateway validate/route → drain
+# --------------------------------------------------------------------------
+
+#: Concurrent senders sharing the workload's frames over localhost TCP.
+SOCKET_CLIENTS = 4
+SOCKET_SHARDS = 2
+SOCKET_QUEUE_DEPTH = 4
+#: Conservative floor for the end-to-end socket round (reports/second):
+#: everything the wire path does, plus TCP and per-frame ack round trips.
+MIN_SOCKET_THROUGHPUT = 1e4
+
+
+def test_socket_ingest_throughput(benchmark, results_dir):
+    schema, client, batches = _wire_workload()
+    frames = [client.encode(batch) for batch in batches]
+    per_client = [frames[i::SOCKET_CLIENTS] for i in range(SOCKET_CLIENTS)]
+    total_reports = WIRE_USERS * schema.dimensions
+    total_bytes = sum(len(frame) for frame in frames)
+
+    def socket_round():
+        async def run():
+            server = ShardedServer(
+                schema,
+                EPSILON,
+                protocols={"category": "oue"},
+                shards=SOCKET_SHARDS,
+            )
+            gateway = await serve_collection(
+                server, "127.0.0.1", 0, queue_depth=SOCKET_QUEUE_DEPTH
+            )
+            contract = server.contract
+
+            async def one_client(own_frames):
+                sender = await AsyncReportSender.connect(
+                    "127.0.0.1", gateway.port, contract
+                )
+                async with sender:
+                    for frame in own_frames:
+                        await sender.send_encoded(frame)
+
+            await asyncio.gather(
+                *(one_client(own) for own in per_client)
+            )
+            await gateway.stop()
+            return gateway.estimate()
+
+        return asyncio.run(run())
+
+    estimate = benchmark(socket_round)
+    assert estimate.users == WIRE_USERS
+    seconds = benchmark.stats.stats.mean
+    throughput = total_reports / seconds
+    assert throughput > MIN_SOCKET_THROUGHPUT, (
+        "socket path moves only %.0f reports/s end to end" % throughput
+    )
+    _record_wire_result(
+        results_dir,
+        SOCKET_SHARDS,
+        {
+            "clients": SOCKET_CLIENTS,
+            "queue_depth": SOCKET_QUEUE_DEPTH,
+            "seconds_mean": seconds,
+            "frames_per_second": len(frames) / seconds,
+            "mb_per_second": total_bytes / seconds / 1e6,
+            "reports_per_second": throughput,
+        },
+        section="socket",
     )

@@ -73,6 +73,7 @@ from .exceptions import (
     DomainError,
     PrivacyBudgetError,
     ReproError,
+    TransportError,
     WireFormatError,
 )
 from .framework import (
@@ -136,6 +137,11 @@ from .session import (
     SessionEstimate,
     ShardedServer,
 )
+from .transport import (
+    AsyncReportSender,
+    CollectionGateway,
+    serve_collection,
+)
 from .wire import (
     CollectionContract,
     decode_batch,
@@ -157,6 +163,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregationError",
     "Aggregator",
+    "AsyncReportSender",
     "AttributeEstimate",
     "BerryEsseenBound",
     "BudgetPlan",
@@ -164,6 +171,7 @@ __all__ = [
     "CategoricalAttribute",
     "Client",
     "CollectionContract",
+    "CollectionGateway",
     "CollectionProtocol",
     "ContractMismatchError",
     "DeviationModel",
@@ -197,6 +205,7 @@ __all__ = [
     "ShardedServer",
     "SquareWaveMechanism",
     "StaircaseMechanism",
+    "TransportError",
     "UtilityReport",
     "ValueDistribution",
     "WireFormatError",
@@ -229,6 +238,7 @@ __all__ = [
     "recalibrate_l2",
     "register_mechanism",
     "register_protocol",
+    "serve_collection",
     "true_mean",
     "uniform_dataset",
     "__version__",

@@ -57,3 +57,14 @@ class ContractMismatchError(ReproError, ValueError):
     ingest, merge or restore anything whose fingerprint disagrees with
     its own contract instead of aggregating silent garbage.
     """
+
+
+class TransportError(ReproError, RuntimeError):
+    """Raised when the socket transport itself fails.
+
+    Covers broken handshakes, connections dropped mid-exchange, and
+    protocol violations on the stream — everything about *moving* frames,
+    as opposed to the frames being malformed (:class:`WireFormatError`)
+    or produced under the wrong contract (:class:`ContractMismatchError`),
+    both of which keep their own types when reported over a socket.
+    """

@@ -34,7 +34,7 @@ QUICK_CLT_REPEATS = 300
 def _build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
-        "--seed", type=int, default=0, help="random seed (default 0)"
+        "--seed", type=int, default=None, help="random seed (default 0)"
     )
     common.add_argument(
         "--quick",
@@ -79,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     collection.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         help="fan the batch stream over N worker servers, wire-encoding "
         "every batch (default 1: plain in-memory ingestion)",
     )
@@ -91,13 +91,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "fresh server and resume (exercises save/load + merge; the "
         "estimates are bit-identical either way)",
     )
+    socket_mode = collection.add_mutually_exclusive_group()
+    socket_mode.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve an asyncio collection gateway (sharded per --shards); "
+        "drain and print the merged estimate once --expect-users users "
+        "arrived (port 0 binds an ephemeral port, see --port-file)",
+    )
+    socket_mode.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="act as one reporting client: handshake, ship the --seed "
+        "round's frames plus a zero-user heartbeat, and exit",
+    )
+    socket_mode.add_argument(
+        "--oneshot",
+        metavar="SEEDS",
+        default=None,
+        help="comma-separated client seeds: ingest the same frames "
+        "in-process and print the estimate in --serve's format "
+        "(diff asserts bit-identical aggregation)",
+    )
+    collection.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="records per socket client (socket modes only; default 4000)",
+    )
+    collection.add_argument(
+        "--batches",
+        type=int,
+        default=None,
+        help="frames per socket client (socket modes only; default 6)",
+    )
+    collection.add_argument(
+        "--expect-users",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve mode: finish the round after N accepted users "
+        "(default: --users, i.e. one client)",
+    )
+    collection.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="serve mode: bound of each shard consumer's queue (the "
+        "backpressure knob; default 8)",
+    )
+    collection.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="serve mode: write the bound port to PATH once listening",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run one artefact and print its result; returns a process code."""
-    args = _build_parser().parse_args(argv)
-    seed = args.seed
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    seed = args.seed if args.seed is not None else 0
     quick = args.quick
 
     if args.artefact == "table2":
@@ -162,13 +220,112 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(result.format())
     elif args.artefact == "collection":
-        kwargs = {}
-        if quick:
-            kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
-        result = run_session_collection(
-            shards=args.shards, checkpoint=args.checkpoint, rng=seed, **kwargs
+        from .socket_round import (
+            run_collection_gateway,
+            run_collection_sender,
+            run_oneshot_reference,
         )
-        print(result.format())
+
+        # The socket modes and the in-process experiment take disjoint
+        # flags; a flag the selected mode would ignore is a misuse the
+        # user must hear about, not a silent no-op.
+        socket_mode = args.serve or args.connect or args.oneshot
+        if socket_mode:
+            if args.checkpoint is not None:
+                parser.error(
+                    "--checkpoint only applies to the in-process "
+                    "collection experiment, not --serve/--connect/--oneshot"
+                )
+            if quick:
+                parser.error(
+                    "--quick only applies to the in-process collection "
+                    "experiment, not --serve/--connect/--oneshot"
+                )
+            if args.shards is not None and not args.serve:
+                parser.error(
+                    "--shards only applies to --serve (the gateway owns "
+                    "the shards) and the in-process experiment"
+                )
+            if args.seed is not None and not args.connect:
+                parser.error(
+                    "--seed only applies to --connect (clients own their "
+                    "rounds' seeds; --oneshot takes them as its argument)"
+                )
+            if args.batches is not None and args.serve:
+                parser.error(
+                    "--batches only applies to --connect/--oneshot (the "
+                    "gateway takes frames as they come)"
+                )
+            if not args.serve:
+                for name, value in [
+                    ("--expect-users", args.expect_users),
+                    ("--queue-depth", args.queue_depth),
+                    ("--port-file", args.port_file),
+                ]:
+                    if value is not None:
+                        parser.error("%s only applies to --serve" % name)
+        else:
+            ignored = [
+                name
+                for name, value in [
+                    ("--users", args.users),
+                    ("--batches", args.batches),
+                    ("--expect-users", args.expect_users),
+                    ("--queue-depth", args.queue_depth),
+                    ("--port-file", args.port_file),
+                ]
+                if value is not None
+            ]
+            if ignored:
+                parser.error(
+                    "%s only appl%s to the socket modes "
+                    "(--serve/--connect/--oneshot)"
+                    % (
+                        ", ".join(ignored),
+                        "ies" if len(ignored) == 1 else "y",
+                    )
+                )
+        users = args.users if args.users is not None else 4000
+        batches = args.batches if args.batches is not None else 6
+        shards = args.shards if args.shards is not None else 1
+        if args.serve:
+            print(
+                run_collection_gateway(
+                    args.serve,
+                    shards=shards,
+                    expect_users=(
+                        args.expect_users
+                        if args.expect_users is not None
+                        else users
+                    ),
+                    queue_depth=(
+                        args.queue_depth
+                        if args.queue_depth is not None
+                        else 8
+                    ),
+                    port_file=args.port_file,
+                )
+            )
+        elif args.connect:
+            print(
+                run_collection_sender(
+                    args.connect, seed=seed, users=users, batches=batches
+                )
+            )
+        elif args.oneshot:
+            seeds = [int(part) for part in args.oneshot.split(",") if part]
+            print(run_oneshot_reference(seeds, users=users, batches=batches))
+        else:
+            kwargs = {}
+            if quick:
+                kwargs = dict(users=QUICK_USERS, repeats=QUICK_REPEATS)
+            result = run_session_collection(
+                shards=shards,
+                checkpoint=args.checkpoint,
+                rng=seed,
+                **kwargs,
+            )
+            print(result.format())
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

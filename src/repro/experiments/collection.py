@@ -87,6 +87,16 @@ class CollectionExperimentResult:
         return format_series(title, "epsilon", COLLECTION_SERIES_LABELS, self.rows)
 
 
+def mixed_schema(numeric_dims: int, n_categories: int) -> Schema:
+    """The mixed numeric+categorical schema shared by the engineering
+    drivers (this experiment, the socket round, the throughput bench) —
+    one definition so their contracts cannot silently drift apart."""
+    return Schema(
+        [NumericAttribute("x%d" % j) for j in range(numeric_dims)]
+        + [CategoricalAttribute("category", n_categories=n_categories)]
+    )
+
+
 def _mixed_records(
     users: int, numeric_dims: int, n_categories: int, gen: np.random.Generator
 ) -> np.ndarray:
@@ -171,10 +181,7 @@ def run_session_collection(
     truth_freq = true_frequencies(
         records[:, numeric_dims].astype(np.int64), n_categories
     )
-    schema = Schema(
-        [NumericAttribute("x%d" % j) for j in range(numeric_dims)]
-        + [CategoricalAttribute("category", n_categories=n_categories)]
-    )
+    schema = mixed_schema(numeric_dims, n_categories)
     protocol_specs = {
         "freq_histogram": "piecewise",
         "freq_oue": {"category": "oue"},

@@ -1,0 +1,177 @@
+"""Socket modes of the ``collection`` CLI: a real round over TCP.
+
+Three entry points, one fixed round shape (the mixed schema of
+:mod:`repro.experiments.collection` at ε=1 with the OUE oracle on the
+categorical attribute), all deterministic in their seeds:
+
+* :func:`run_collection_gateway` — serve an asyncio collection gateway
+  (``collection --serve HOST:PORT``): accept handshaken connections,
+  fan frames over sharded consumers, and once ``expect_users`` users
+  have been accepted, drain-and-merge and print the estimate.
+* :func:`run_collection_sender` — act as one reporting client
+  (``collection --connect HOST:PORT``): generate the seeded records,
+  perturb, wire-encode, ship every frame plus a trailing zero-user
+  heartbeat, and report what was sent.
+* :func:`run_oneshot_reference` — ingest the *same* frames in-process
+  (``collection --oneshot SEEDS``) and print the estimate in the same
+  format.
+
+Estimates are printed with ``float.hex`` values, so ``diff`` between a
+socket round's output and the one-shot reference asserts bit-identical
+aggregation end to end — the CI smoke job does exactly that with two
+concurrent clients and two shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..session import (
+    LDPClient,
+    LDPServer,
+    Schema,
+    SessionEstimate,
+    ShardedServer,
+)
+from ..transport import AsyncReportSender, serve_collection
+from ..wire.contract import CollectionContract
+from .collection import _mixed_records, mixed_schema
+
+#: The fixed contract terms of a CLI socket round. Server and clients
+#: derive the same contract from these, so independently started
+#: processes handshake successfully.
+ROUND_EPSILON = 1.0
+ROUND_NUMERIC_DIMS = 8
+ROUND_CATEGORIES = 16
+ROUND_PROTOCOLS = {"category": "oue"}
+
+
+def round_schema() -> Schema:
+    """The mixed schema every socket-round participant agrees on."""
+    return mixed_schema(ROUND_NUMERIC_DIMS, ROUND_CATEGORIES)
+
+
+def round_contract() -> CollectionContract:
+    """The collection contract of a CLI socket round."""
+    return LDPClient(
+        round_schema(), ROUND_EPSILON, protocols=ROUND_PROTOCOLS
+    ).contract
+
+
+def round_frames(seed: int, users: int, batches: int) -> List[bytes]:
+    """One client's wire frames, a pure function of ``(seed, users, batches)``."""
+    gen = np.random.default_rng(seed)
+    records = _mixed_records(users, ROUND_NUMERIC_DIMS, ROUND_CATEGORIES, gen)
+    client = LDPClient(round_schema(), ROUND_EPSILON, protocols=ROUND_PROTOCOLS)
+    return [
+        client.report_encoded(chunk, gen)
+        for chunk in np.array_split(records, batches)
+    ]
+
+
+def format_round_estimate(estimate: SessionEstimate) -> str:
+    """Render an estimate with ``float.hex`` values (diff == bit-equality)."""
+    lines = ["users %d" % estimate.users]
+    for attr in estimate.attributes:
+        lines.append(
+            "%s %s %s"
+            % (
+                attr.name,
+                attr.kind,
+                " ".join(float(v).hex() for v in attr.raw),
+            )
+        )
+    return "\n".join(lines)
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` (port may be 0 to bind an ephemeral port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError("expected HOST:PORT, got %r" % text)
+    return host, int(port)
+
+
+def run_collection_gateway(
+    endpoint: str,
+    shards: int = 2,
+    expect_users: int = 4000,
+    queue_depth: int = 8,
+    port_file: Optional[Union[str, pathlib.Path]] = None,
+) -> str:
+    """Serve one socket round and return the formatted merged estimate.
+
+    The gateway accepts connections until ``expect_users`` users have
+    been accepted across all of them, then drains the shard queues,
+    merges, and renders the estimate. ``port_file`` (written once the
+    socket is bound, holding the bare port number) lets scripts start
+    the server on port 0 and discover where it landed.
+    """
+    host, port = parse_endpoint(endpoint)
+
+    async def _serve() -> str:
+        server = ShardedServer(
+            round_schema(),
+            ROUND_EPSILON,
+            protocols=ROUND_PROTOCOLS,
+            shards=shards,
+        )
+        gateway = await serve_collection(
+            server, host, port, queue_depth=queue_depth
+        )
+        try:
+            if port_file is not None:
+                pathlib.Path(port_file).write_text("%d\n" % gateway.port)
+            await gateway.wait_for_users(expect_users)
+        finally:
+            # Bounded grace: in-flight clients may finish their stream
+            # (trailing heartbeats included), but one silent peer cannot
+            # hang the round after expect_users arrived.
+            await gateway.stop(grace=10.0)
+        return format_round_estimate(gateway.estimate())
+
+    return asyncio.run(_serve())
+
+
+def run_collection_sender(
+    endpoint: str, seed: int = 0, users: int = 4000, batches: int = 6
+) -> str:
+    """Run one reporting client against a gateway; return a summary line."""
+    host, port = parse_endpoint(endpoint)
+    frames = round_frames(seed, users, batches)
+
+    async def _send() -> int:
+        sender = await AsyncReportSender.connect(host, port, round_contract())
+        async with sender:
+            for frame in frames:
+                await sender.send_encoded(frame)
+            payload_bytes = sender.bytes_sent  # heartbeat excluded, like
+            await sender.heartbeat()           # the frame count above
+            return payload_bytes
+
+    shipped = asyncio.run(_send())
+    return "sent %d frames (%d payload bytes) from seed %d" % (
+        len(frames),
+        shipped,
+        seed,
+    )
+
+
+def run_oneshot_reference(
+    seeds: Sequence[int], users: int = 4000, batches: int = 6
+) -> str:
+    """In-process ingestion of the same frames, same output format.
+
+    ``diff`` against a gateway's output asserts that the socket path —
+    concurrent clients, sharded consumers, backpressure stalls and all —
+    changed the estimate by exactly nothing.
+    """
+    server = LDPServer(round_schema(), ROUND_EPSILON, protocols=ROUND_PROTOCOLS)
+    for seed in seeds:
+        for frame in round_frames(seed, users, batches):
+            server.ingest_encoded(frame)
+    return format_round_estimate(server.estimate())

@@ -24,6 +24,7 @@ through constructors.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
@@ -379,13 +380,19 @@ class LDPServer:
 
         The write is atomic (temp file + rename in the same directory),
         so a crash mid-checkpoint can never destroy the previous good
-        checkpoint.
+        checkpoint — and a failed write removes its scratch file instead
+        of leaving a stale partial ``.tmp`` beside the target.
         """
         target = pathlib.Path(path)
         document = json.dumps(self.state_dict(), sort_keys=True)
         scratch = target.with_name(target.name + ".tmp")
-        scratch.write_text(document + "\n")
-        os.replace(scratch, target)
+        try:
+            scratch.write_text(document + "\n")
+            os.replace(scratch, target)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                scratch.unlink()
+            raise
 
     def load_state(self, path: Union[str, pathlib.Path]) -> "LDPServer":
         """Resume from a :meth:`save_state` checkpoint (exactly).

@@ -23,6 +23,7 @@ state for merging — exactly what :meth:`LDPServer.merge`,
 
 from __future__ import annotations
 
+import operator
 import pathlib
 from typing import Dict, Iterable, Optional, Union
 
@@ -53,12 +54,18 @@ class ShardedServer:
         protocols: ProtocolSpec = None,
         shards: int = 2,
     ) -> None:
-        if int(shards) < 1:
-            raise DimensionError("need at least one shard, got %d" % shards)
+        try:
+            count = operator.index(shards)
+        except TypeError:
+            raise DimensionError(
+                "shard count must be an integer, got %r" % (shards,)
+            ) from None
+        if count < 1:
+            raise DimensionError("need at least one shard, got %d" % count)
         self._constructor_args = (schema, epsilon, sampled_attributes, protocols)
         self.shards = tuple(
             LDPServer(schema, epsilon, sampled_attributes, protocols)
-            for _ in range(int(shards))
+            for _ in range(count)
         )
         self._cursor = 0
 

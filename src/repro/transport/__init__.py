@@ -1,0 +1,48 @@
+"""Socket transport of the distributed collection API.
+
+The wire layer (:mod:`repro.wire`) makes a report batch a byte string;
+this subpackage moves those bytes between real processes over TCP, with
+the same strictness guarantees:
+
+* :func:`serve_collection` / :class:`CollectionGateway` — an asyncio
+  ingestion front: contract handshake on connect (fingerprints compared
+  *before* any payload bytes flow), accepted frames validated and fanned
+  over a pool of concurrent shard consumers feeding a
+  :class:`~repro.session.ShardedServer` through bounded queues (explicit
+  backpressure), graceful drain-and-merge on shutdown;
+* :class:`AsyncReportSender` — the user side: handshake, per-frame
+  acknowledged sends (the ack wait *is* the backpressure), zero-user
+  heartbeat frames for idle connections;
+* :mod:`repro.transport.framing` — the shared message definitions
+  (handshake structs, length-prefixed frames, typed status codes).
+
+Because aggregation is exact (:mod:`repro.session.streaming`), a socket
+round's estimate is bit-identical to one-shot in-process ingestion of
+the same report multiset — concurrency, routing, and backpressure stalls
+cannot move it by one ulp.
+"""
+
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    STATUS_CONTRACT_MISMATCH,
+    STATUS_OK,
+    STATUS_TRANSPORT_ERROR,
+    STATUS_WIRE_ERROR,
+    TRANSPORT_MAGIC,
+    TRANSPORT_VERSION,
+)
+from .gateway import CollectionGateway, serve_collection
+from .sender import AsyncReportSender
+
+__all__ = [
+    "AsyncReportSender",
+    "CollectionGateway",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "STATUS_CONTRACT_MISMATCH",
+    "STATUS_OK",
+    "STATUS_TRANSPORT_ERROR",
+    "STATUS_WIRE_ERROR",
+    "TRANSPORT_MAGIC",
+    "TRANSPORT_VERSION",
+    "serve_collection",
+]

@@ -1,0 +1,145 @@
+"""Stream framing and handshake messages of the socket transport.
+
+Everything that travels over a collection socket is defined here, so the
+gateway and the sender agree byte for byte:
+
+Handshake (before any payload bytes flow)::
+
+    client hello   magic b"LDPT" | u16 transport version | 16B contract digest
+    gateway reply  magic b"LDPT" | u16 transport version | 16B contract digest
+                   | status message
+
+The gateway compares the client's digest with its own contract *first*
+and answers ``STATUS_CONTRACT_MISMATCH`` (then closes) on disagreement —
+a misconfigured sender is turned away before it ships a single report.
+The sender symmetrically refuses a gateway whose digest differs.
+
+Data phase (client → gateway)::
+
+    u32 length | length bytes of one encode_batch frame
+
+and each frame is answered by a status message (gateway → client)::
+
+    u8 status | u32 message length | utf-8 message
+
+``STATUS_OK`` acknowledges that the frame was decoded, validated against
+the contract, and handed to a shard consumer. Error statuses carry the
+server-side diagnostic and map back onto the library's typed exceptions
+via :func:`raise_for_status`; after reporting one the gateway closes the
+connection (a stream that produced malformed bytes cannot be trusted to
+stay in frame). A client ends its stream by half-closing the connection
+(EOF instead of a length prefix).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from ..exceptions import ContractMismatchError, TransportError, WireFormatError
+from ..wire.contract import DIGEST_SIZE
+
+#: Magic opening both handshake messages (distinct from the wire codec's
+#: ``LDPW`` so a frame accidentally sent first is caught immediately).
+TRANSPORT_MAGIC = b"LDPT"
+
+#: Version of the socket transport (handshake + framing), independent of
+#: the wire codec version embedded in every payload frame.
+TRANSPORT_VERSION = 1
+
+#: Frames longer than this are rejected before allocation — a corrupted
+#: or hostile length prefix must not balloon gateway memory.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Status messages longer than this are a protocol violation — a broken
+#: peer's length field must not balloon sender memory either.
+MAX_STATUS_BYTES = 1024 * 1024
+
+STATUS_OK = 0
+STATUS_WIRE_ERROR = 1
+STATUS_CONTRACT_MISMATCH = 2
+STATUS_TRANSPORT_ERROR = 3
+
+HELLO = struct.Struct("<4sH%ds" % DIGEST_SIZE)
+_LENGTH = struct.Struct("<I")
+_STATUS_HEAD = struct.Struct("<BI")
+
+
+def pack_status(status: int, message: str = "") -> bytes:
+    """Serialize one status message (ack or typed rejection)."""
+    body = message.encode("utf-8")
+    return _STATUS_HEAD.pack(status, len(body)) + body
+
+
+async def read_status(reader: asyncio.StreamReader) -> Tuple[int, str]:
+    """Read one status message; :class:`TransportError` on a dropped peer."""
+    try:
+        status, length = _STATUS_HEAD.unpack(
+            await reader.readexactly(_STATUS_HEAD.size)
+        )
+        if length > MAX_STATUS_BYTES:
+            raise TransportError(
+                "peer announced a %d-byte status message (limit %d): not "
+                "speaking this protocol" % (length, MAX_STATUS_BYTES)
+            )
+        body = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError) as exc:
+        raise TransportError(
+            "connection closed while waiting for a gateway response: %s" % exc
+        ) from None
+    return status, body.decode("utf-8", errors="replace")
+
+
+def raise_for_status(status: int, message: str) -> None:
+    """Map a non-OK status back onto the library's typed exceptions."""
+    if status == STATUS_OK:
+        return
+    if status == STATUS_WIRE_ERROR:
+        raise WireFormatError(message)
+    if status == STATUS_CONTRACT_MISMATCH:
+        raise ContractMismatchError(message)
+    raise TransportError(
+        message or "gateway reported transport failure (status %d)" % status
+    )
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one length-prefixed frame on the stream (await ``drain()``)."""
+    writer.write(_LENGTH.pack(len(payload)))
+    writer.write(payload)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int
+) -> Optional[bytes]:
+    """Read one length-prefixed frame.
+
+    Returns ``None`` on a clean end of stream (EOF instead of a length
+    prefix — how senders finish a round). Raises
+    :class:`WireFormatError` for an over-limit length prefix and
+    :class:`TransportError` for a connection dropped mid-frame.
+    """
+    try:
+        head = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TransportError(
+            "connection closed mid-prefix (%d of %d bytes)"
+            % (len(exc.partial), _LENGTH.size)
+        ) from None
+    except ConnectionError as exc:
+        raise TransportError("connection lost: %s" % exc) from None
+    (length,) = _LENGTH.unpack(head)
+    if length > max_frame_bytes:
+        raise WireFormatError(
+            "frame of %d bytes exceeds the transport limit of %d"
+            % (length, max_frame_bytes)
+        )
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError) as exc:
+        raise TransportError(
+            "connection closed mid-frame: %s" % exc
+        ) from None

@@ -1,0 +1,468 @@
+"""Asyncio TCP collection gateway: sockets in, sharded aggregation out.
+
+:class:`CollectionGateway` is the ingestion front of a collection round.
+It listens on a TCP port, handshakes every connection against its
+:class:`~repro.wire.CollectionContract` (fingerprint compared before any
+payload bytes flow), and fans accepted frames over a pool of concurrent
+shard consumers feeding a :class:`~repro.session.ShardedServer`.
+
+Backpressure is explicit and bounded: each shard consumer pulls from its
+own bounded :class:`asyncio.Queue`. A connection reader that lands on a
+full queue blocks in ``put()`` — it stops reading its socket, the
+kernel's TCP window closes, and the *sender's* ``drain()``/ack wait
+blocks. A slow shard therefore slows its producers down instead of
+ballooning gateway memory; nothing is dropped and nothing is buffered
+beyond ``shards x queue_depth`` validated batches.
+
+Shutdown is drain-and-merge: :meth:`CollectionGateway.stop` stops
+accepting, lets in-flight connections finish, joins every shard queue
+(all accepted frames folded), then cancels the consumers. Because
+aggregation is exact (:mod:`repro.session.streaming`), the estimate read
+afterwards is bit-identical to one-shot in-process ingestion of the same
+report multiset — the acceptance invariant of the socket path.
+
+Frames are validated *before* they are acknowledged: decode
+(CRC, structure), contract fingerprint, and full server-side payload
+validation all happen on the connection coroutine, so an ack means "this
+batch will be in the estimate once drained". A frame that fails
+validation is answered with a typed error status and the connection is
+closed; the aggregation state is never touched by a bad frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import operator
+from typing import List, Optional, Set
+
+from ..session.sharded import ShardedServer
+from ..session.server import LDPServer, Postprocessor, SessionEstimate
+from ..exceptions import (
+    ContractMismatchError,
+    DimensionError,
+    DomainError,
+    TransportError,
+    WireFormatError,
+)
+from ..wire.codec import decode_batch
+from ..wire.contract import CollectionContract
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HELLO,
+    STATUS_CONTRACT_MISMATCH,
+    STATUS_OK,
+    STATUS_TRANSPORT_ERROR,
+    STATUS_WIRE_ERROR,
+    TRANSPORT_MAGIC,
+    TRANSPORT_VERSION,
+    pack_status,
+    read_frame,
+)
+
+
+class CollectionGateway:
+    """Socket ingestion front over a :class:`~repro.session.ShardedServer`.
+
+    Parameters
+    ----------
+    server:
+        The sharded collector the gateway feeds. One consumer coroutine
+        is spawned per shard; each shard is only ever touched by its own
+        consumer, so folding needs no locks.
+    queue_depth:
+        Bound of every per-shard queue — the backpressure knob. Small
+        values couple producers tightly to consumer progress; large
+        values smooth bursts at the cost of buffered memory.
+    max_frame_bytes:
+        Reject frames longer than this before allocating them.
+    """
+
+    def __init__(
+        self,
+        server: ShardedServer,
+        queue_depth: int = 8,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        try:
+            depth = operator.index(queue_depth)
+            frame_limit = operator.index(max_frame_bytes)
+        except TypeError:
+            raise DimensionError(
+                "queue_depth and max_frame_bytes must be integers, got "
+                "%r and %r" % (queue_depth, max_frame_bytes)
+            ) from None
+        if depth < 1:
+            raise DimensionError(
+                "queue depth must be >= 1, got %d" % depth
+            )
+        if frame_limit < 1:
+            raise DimensionError(
+                "max_frame_bytes must be >= 1 (every frame, even a "
+                "zero-user heartbeat, has a header), got %d" % frame_limit
+            )
+        self.server = server
+        self.queue_depth = depth
+        self.max_frame_bytes = frame_limit
+        self._queues: List[asyncio.Queue] = []
+        self._consumers: List[asyncio.Task] = []
+        self._connections: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._progress: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._fold_error: Optional[Exception] = None
+        self._cursor = 0
+        # Counters: "accepted" means validated + acked + queued; the
+        # batch is folded into a shard by drain time at the latest.
+        self.frames_accepted = 0
+        self.frames_rejected = 0
+        self.handshakes_rejected = 0
+        self.users_accepted = 0
+        self.bytes_received = 0
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def contract(self) -> CollectionContract:
+        """The collection contract every connection must match."""
+        return self.server.contract
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "CollectionGateway":
+        """Bind the listening socket and spawn the shard consumers."""
+        if self._tcp is not None:
+            raise TransportError("gateway is already serving")
+        self._stopping = False
+        self._progress = asyncio.Event()
+        self._queues = [
+            asyncio.Queue(maxsize=self.queue_depth)
+            for _ in self.server.shards
+        ]
+        # Bind before spawning the consumers: a failed bind (port in use)
+        # must not leave consumer tasks blocked on their queues forever.
+        # No await separates the bind from the spawns, so a connection
+        # accepted by the new socket cannot be handled before its
+        # consumers exist.
+        self._tcp = await asyncio.start_server(self._handle, host, port)
+        self._consumers = [
+            asyncio.ensure_future(self._consume(index))
+            for index in range(len(self._queues))
+        ]
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful after binding port 0)."""
+        if self._tcp is None or not self._tcp.sockets:
+            raise TransportError("gateway is not serving")
+        ports = {sock.getsockname()[1] for sock in self._tcp.sockets}
+        if len(ports) > 1:
+            # port=0 on a multi-address hostname (e.g. dual-stack
+            # "localhost") gives each address family its own ephemeral
+            # port; advertising just one would misdirect half the
+            # clients.
+            raise TransportError(
+                "gateway is bound to multiple ports %s: binding port 0 "
+                "on a multi-address host gives each address family its "
+                "own ephemeral port — bind one explicit address (e.g. "
+                "127.0.0.1) instead" % sorted(ports)
+            )
+        return ports.pop()
+
+    async def drain(self) -> None:
+        """Wait until every accepted frame has been folded into a shard."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    async def stop(
+        self,
+        abort_connections: bool = False,
+        grace: Optional[float] = None,
+    ) -> None:
+        """Graceful drain-and-merge shutdown.
+
+        Stops accepting, waits for in-flight connections to finish,
+        drains every shard queue, then cancels the consumers.
+        ``abort_connections`` closes connections immediately instead of
+        waiting; ``grace`` waits up to that many seconds and then closes
+        whatever is still open — so one silent peer cannot hang the
+        shutdown forever. Either way every acknowledged frame is folded.
+        A frame in flight when its connection was aborted may be folded
+        *without* its ack reaching the sender (the usual ambiguity of
+        any acknowledged stream: the sender cannot tell a lost frame
+        from a lost ack) — retrying such a frame on a gateway that will
+        merge with this one can double-count it.
+        """
+        # Settle the connections BEFORE awaiting wait_closed(): on
+        # Python >= 3.12 Server.wait_closed() waits for every connection
+        # handler to finish (gh-79033), so awaiting it while a handler
+        # is still blocked reading an idle peer would deadlock — exactly
+        # the hang abort_connections/grace exist to prevent.
+        self._stopping = True
+        tcp, self._tcp = self._tcp, None
+        if tcp is not None:
+            tcp.close()  # stop accepting; existing connections live on
+        pending = list(self._connections)
+        if abort_connections:
+            for writer in list(self._writers):
+                writer.close()
+        if pending:
+            if abort_connections or grace is None:
+                await asyncio.gather(*pending, return_exceptions=True)
+            else:
+                _, overdue = await asyncio.wait(pending, timeout=grace)
+                if overdue:
+                    for writer in list(self._writers):
+                        writer.close()
+                    await asyncio.gather(*overdue, return_exceptions=True)
+        if tcp is not None:
+            await tcp.wait_closed()
+        await self.drain()
+        for consumer in self._consumers:
+            consumer.cancel()
+        await asyncio.gather(*self._consumers, return_exceptions=True)
+        self._consumers = []
+
+    async def __aenter__(self) -> "CollectionGateway":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop(abort_connections=True)
+
+    async def wait_for_users(self, count: int) -> None:
+        """Block until at least ``count`` users have been accepted."""
+        if self._progress is None:
+            raise TransportError("gateway is not serving")
+        while self.users_accepted < int(count):
+            self._progress.clear()
+            if self.users_accepted >= int(count):
+                break
+            await self._progress.wait()
+
+    # ------------------------------------------------------------- consumers
+
+    async def _consume(self, index: int) -> None:
+        """Fold validated batches from queue ``index`` into shard ``index``.
+
+        A fold that raises (e.g. allocation failure under memory
+        pressure) poisons the whole gateway, not just this shard: the
+        error is recorded, later frames are refused instead of acked,
+        and :meth:`estimate`/:meth:`merged` re-raise it rather than
+        serve a silently partial aggregate. The consumer itself keeps
+        draining (``task_done`` for every item) so a drain can never
+        hang on a dead shard.
+        """
+        shard = self.server.shards[index]
+        queue = self._queues[index]
+        while True:
+            users, canonical = await queue.get()
+            try:
+                if self._fold_error is None:
+                    shard._fold_validated(users, canonical)
+            except Exception as exc:
+                self._fold_error = exc
+            finally:
+                queue.task_done()
+
+    # ----------------------------------------------------------- connections
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._stopping:
+            # Accepted in the same tick stop() began: this handler is in
+            # neither _connections nor _writers, so the shutdown's
+            # settle pass cannot reach it. Refusing here (before any
+            # handshake or ack) keeps the invariant that every ack is
+            # folded, and lets Server.wait_closed() (which on
+            # Python >= 3.12 waits for all handlers) return promptly.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            if await self._handshake(reader, writer):
+                await self._pump(reader, writer)
+        except (ConnectionError, TransportError):
+            pass  # peer vanished: accepted frames stay accepted
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str = "",
+        hello: bool = False,
+    ) -> None:
+        if hello:
+            writer.write(
+                HELLO.pack(
+                    TRANSPORT_MAGIC, TRANSPORT_VERSION, self.contract.digest
+                )
+            )
+        writer.write(pack_status(status, message))
+        await writer.drain()
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Verify the contract fingerprint before any payload bytes flow."""
+        try:
+            magic, version, digest = HELLO.unpack(
+                await reader.readexactly(HELLO.size)
+            )
+        except asyncio.IncompleteReadError:
+            return False  # probe/scan connection: nothing to answer
+        if magic != TRANSPORT_MAGIC:
+            self.handshakes_rejected += 1
+            await self._reply(
+                writer,
+                STATUS_TRANSPORT_ERROR,
+                "not a collection-transport hello: bad magic %r "
+                "(expected %r)" % (magic, TRANSPORT_MAGIC),
+                hello=True,
+            )
+            return False
+        if version != TRANSPORT_VERSION:
+            self.handshakes_rejected += 1
+            await self._reply(
+                writer,
+                STATUS_TRANSPORT_ERROR,
+                "unsupported transport version %d (this gateway speaks %d)"
+                % (version, TRANSPORT_VERSION),
+                hello=True,
+            )
+            return False
+        if digest != self.contract.digest:
+            self.handshakes_rejected += 1
+            await self._reply(
+                writer,
+                STATUS_CONTRACT_MISMATCH,
+                "sender operates under contract %s but this gateway "
+                "collects under %s (schema, budget, and per-attribute "
+                "protocols must agree)"
+                % (bytes(digest).hex(), self.contract.fingerprint),
+                hello=True,
+            )
+            return False
+        await self._reply(writer, STATUS_OK, hello=True)
+        return True
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Validate, route and ack frames until EOF or the first bad one."""
+        while True:
+            try:
+                frame = await read_frame(reader, self.max_frame_bytes)
+            except WireFormatError as exc:
+                self.frames_rejected += 1
+                await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
+                return
+            if frame is None:
+                return  # clean end of stream
+            if self._fold_error is not None:
+                # A dead shard must not keep collecting acks it cannot
+                # honour.
+                self.frames_rejected += 1
+                await self._reply(
+                    writer,
+                    STATUS_TRANSPORT_ERROR,
+                    "gateway aggregation failed: %s" % self._fold_error,
+                )
+                return
+            try:
+                batch = decode_batch(frame, contract=self.contract)
+                # Validation is contract-level and identical across
+                # shards; consumers fold without re-validating.
+                users, canonical = self.server.shards[0]._validate_batch(batch)
+            except ContractMismatchError as exc:
+                self.frames_rejected += 1
+                await self._reply(writer, STATUS_CONTRACT_MISMATCH, str(exc))
+                return
+            except (WireFormatError, DimensionError, DomainError) as exc:
+                self.frames_rejected += 1
+                await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
+                return
+            # Bounded queue: blocking here is the backpressure — the
+            # socket is not read (and the sender not acked) until the
+            # target shard has room.
+            queue = self._queues[self._cursor % len(self._queues)]
+            self._cursor += 1
+            await queue.put((users, canonical))
+            self.frames_accepted += 1
+            self.users_accepted += users
+            self.bytes_received += len(frame)
+            if users == 0:
+                self.heartbeats += 1
+            if self._progress is not None:
+                self._progress.set()
+            await self._reply(writer, STATUS_OK)
+
+    # -------------------------------------------------------------- results
+
+    @property
+    def users(self) -> int:
+        """Users folded into the shards so far (drained frames only)."""
+        return self.server.users
+
+    def _check_folds(self) -> None:
+        if self._fold_error is not None:
+            raise TransportError(
+                "a shard consumer failed mid-round; the aggregate is "
+                "incomplete and cannot be served: %s" % self._fold_error
+            ) from self._fold_error
+
+    def merged(self) -> LDPServer:
+        """Fold all shard states into one fresh server (after a drain)."""
+        self._check_folds()
+        return self.server.merged()
+
+    def estimate(
+        self, postprocess: Optional[Postprocessor] = None
+    ) -> SessionEstimate:
+        """Merged estimates over everything folded so far.
+
+        Call after :meth:`stop` (or :meth:`drain`) to cover every
+        acknowledged frame; mid-round calls see a consistent prefix.
+        Raises :class:`TransportError` if a shard consumer died
+        mid-round — a partial aggregate is never served.
+        """
+        self._check_folds()
+        return self.server.estimate(postprocess=postprocess)
+
+
+async def serve_collection(
+    server: ShardedServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    queue_depth: int = 8,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> CollectionGateway:
+    """Start a :class:`CollectionGateway` over ``server`` on ``host:port``.
+
+    Returns the serving gateway; ``port=0`` binds an ephemeral port
+    (read it back from :attr:`CollectionGateway.port`). The caller owns
+    the round's lifecycle: typically ``await gateway.wait_for_users(n)``
+    (or any other completion signal), then ``await gateway.stop()`` and
+    read :meth:`~CollectionGateway.estimate`.
+    """
+    gateway = CollectionGateway(
+        server, queue_depth=queue_depth, max_frame_bytes=max_frame_bytes
+    )
+    return await gateway.start(host, port)

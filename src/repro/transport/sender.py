@@ -1,0 +1,193 @@
+"""Asyncio TCP report sender: the user-side end of the socket transport.
+
+:class:`AsyncReportSender` opens a connection to a collection gateway,
+performs the contract handshake (both sides compare fingerprints before
+any payload bytes flow), and then ships wire frames produced by
+:func:`~repro.wire.encode_batch` — one length-prefixed frame per report
+batch, each acknowledged by the gateway after it has been decoded,
+validated and handed to a shard consumer.
+
+The per-frame acknowledgement is the client half of the backpressure
+loop: a gateway whose shard queues are full simply does not ack, so
+:meth:`AsyncReportSender.send` naturally slows a producer down to the
+aggregation tier's pace. Error statuses come back as the library's own
+exception types — :class:`~repro.exceptions.ContractMismatchError`,
+:class:`~repro.exceptions.WireFormatError`, or
+:class:`~repro.exceptions.TransportError` for transport-level failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Union
+
+from ..exceptions import ContractMismatchError, TransportError
+from ..session.client import ReportBatch
+from ..wire.codec import encode_batch
+from ..wire.contract import CollectionContract
+from .framing import (
+    HELLO,
+    TRANSPORT_MAGIC,
+    TRANSPORT_VERSION,
+    raise_for_status,
+    read_status,
+    write_frame,
+)
+
+#: ``connect`` accepts a bare contract or anything carrying one (an
+#: :class:`~repro.session.LDPClient`, an :class:`~repro.session.LDPServer`).
+ContractLike = Union[CollectionContract, object]
+
+
+def _as_contract(contract: ContractLike) -> CollectionContract:
+    if isinstance(contract, CollectionContract):
+        return contract
+    carried = getattr(contract, "contract", None)
+    if isinstance(carried, CollectionContract):
+        return carried
+    raise TransportError(
+        "connect needs a CollectionContract (or an object carrying one "
+        "as .contract), got %s" % type(contract).__name__
+    )
+
+
+class AsyncReportSender:
+    """One open, handshaken connection to a collection gateway.
+
+    Construct through :meth:`connect`; use as an async context manager
+    so half-open connections cannot leak::
+
+        async with await AsyncReportSender.connect(host, port, client) as s:
+            await s.send(batch)
+    """
+
+    def __init__(
+        self,
+        contract: CollectionContract,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.contract = contract
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, contract: ContractLike
+    ) -> "AsyncReportSender":
+        """Open a connection and perform the contract handshake.
+
+        Raises :class:`~repro.exceptions.ContractMismatchError` when the
+        gateway collects under a different contract — before any payload
+        bytes flow — and :class:`~repro.exceptions.TransportError` when
+        the peer is not a collection gateway at all.
+        """
+        agreed = _as_contract(contract)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                HELLO.pack(TRANSPORT_MAGIC, TRANSPORT_VERSION, agreed.digest)
+            )
+            await writer.drain()
+            try:
+                magic, version, digest = HELLO.unpack(
+                    await reader.readexactly(HELLO.size)
+                )
+            except (asyncio.IncompleteReadError, ConnectionError) as exc:
+                raise TransportError(
+                    "gateway closed the connection during the handshake: %s"
+                    % exc
+                ) from None
+            if magic != TRANSPORT_MAGIC:
+                raise TransportError(
+                    "peer is not a collection gateway: bad hello magic %r"
+                    % (magic,)
+                )
+            status, message = await read_status(reader)
+            raise_for_status(status, message)
+            if version != TRANSPORT_VERSION:
+                raise TransportError(
+                    "gateway speaks transport version %d, this client %d"
+                    % (version, TRANSPORT_VERSION)
+                )
+            if digest != agreed.digest:
+                # The gateway accepted us but presents a different
+                # fingerprint: refuse symmetrically.
+                raise ContractMismatchError(
+                    "gateway presents contract %s but this sender operates "
+                    "under %s" % (bytes(digest).hex(), agreed.fingerprint)
+                )
+        except BaseException:
+            writer.close()
+            raise
+        return cls(agreed, reader, writer)
+
+    # --------------------------------------------------------------- sending
+
+    async def send_encoded(self, frame: bytes) -> None:
+        """Ship one pre-encoded wire frame and wait for its ack.
+
+        The ack only arrives once the gateway has validated the frame
+        and found queue room for it — this await *is* the backpressure.
+        """
+        if self._closed:
+            raise TransportError("sender is closed")
+        write_frame(self._writer, frame)
+        try:
+            await self._writer.drain()
+        except ConnectionError as exc:
+            raise TransportError("connection lost mid-send: %s" % exc) from None
+        status, message = await read_status(self._reader)
+        try:
+            raise_for_status(status, message)
+        except BaseException:
+            await self.close()  # the gateway closes after an error status
+            raise
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+    async def send(self, batch: ReportBatch) -> None:
+        """Encode one batch under this sender's contract and ship it."""
+        await self.send_encoded(encode_batch(batch, self.contract))
+
+    async def heartbeat(self) -> None:
+        """Ship a zero-user frame: a liveness no-op for idle gateways.
+
+        An empty :class:`~repro.session.ReportBatch` is a first-class
+        frame — it round-trips the full validate/route/ack path, changes
+        no aggregation state, and proves the connection (and the
+        gateway's consumers) are still moving.
+        """
+        await self.send(
+            ReportBatch(users=0, payloads={}, counts={}, protocols={})
+        )
+
+    # --------------------------------------------------------------- closing
+
+    async def close(self) -> None:
+        """End the stream (EOF) and release the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._writer.can_write_eof():
+                self._writer.write_eof()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncReportSender":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+__all__ = ["AsyncReportSender"]

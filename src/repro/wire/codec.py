@@ -127,9 +127,17 @@ def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
 
     The contract's digest is embedded in the frame header; decoders
     (and :meth:`LDPServer.ingest_encoded`) verify it before aggregating.
-    Raises :class:`WireFormatError` if the batch names attributes or
-    protocols outside the contract.
+    Raises :class:`WireFormatError` if ``batch`` is not a
+    :class:`~repro.session.ReportBatch` at all, or if it names attributes
+    or protocols outside the contract.
     """
+    from ..session.client import ReportBatch
+
+    if not isinstance(batch, ReportBatch):
+        raise WireFormatError(
+            "encode_batch expects a repro.session.ReportBatch, got %s"
+            % type(batch).__name__
+        )
     expected = dict(zip(contract.schema.names, contract.protocols))
     parts = [
         _HEADER.pack(

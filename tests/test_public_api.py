@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.mechanisms",
     "repro.protocol",
     "repro.session",
+    "repro.transport",
     "repro.wire",
 ]
 

@@ -252,6 +252,43 @@ class TestCheckpoints:
         with pytest.raises(WireFormatError, match="user count"):
             fresh.load_state_dict(document)
 
+    def test_failed_save_cleans_up_its_scratch_file(self, tmp_path, monkeypatch):
+        """Regression: a crashed checkpoint used to leave a stale .tmp."""
+        import pathlib
+
+        schema, spec = _session("piecewise")
+        _, batches = _batches(schema, spec, count=1)
+        server = LDPServer(schema, epsilon=2.0, protocols=spec)
+        server.ingest(batches)
+        real_write = pathlib.Path.write_text
+
+        def partial_write(self, text, *args, **kwargs):
+            real_write(self, text[: len(text) // 2], *args, **kwargs)
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pathlib.Path, "write_text", partial_write)
+        with pytest.raises(OSError, match="disk full"):
+            server.save_state(tmp_path / "state.json")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_rename_cleans_up_its_scratch_file(self, tmp_path, monkeypatch):
+        import os
+
+        schema, spec = _session("piecewise")
+        _, batches = _batches(schema, spec, count=1)
+        server = LDPServer(schema, epsilon=2.0, protocols=spec)
+        server.ingest(batches)
+
+        def broken_replace(src, dst, **kwargs):
+            raise OSError("cross-device link")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="cross-device"):
+            server.save_state(tmp_path / "state.json")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
     def test_save_state_is_atomic(self, tmp_path):
         """Checkpointing never leaves temp litter and safely overwrites."""
         schema, spec = _session("piecewise")
@@ -281,6 +318,16 @@ class TestShardedServerBehaviour:
     def test_rejects_zero_shards(self):
         with pytest.raises(DimensionError):
             ShardedServer(MIXED, epsilon=1.0, shards=0)
+
+    @pytest.mark.parametrize("shards", [2.5, 2.0, "2", None])
+    def test_rejects_non_integral_shard_counts(self, shards):
+        """Regression: 2.5 shards used to be silently truncated to 2."""
+        with pytest.raises(DimensionError, match="integer"):
+            ShardedServer(MIXED, epsilon=1.0, shards=shards)
+
+    def test_accepts_integer_like_shard_counts(self):
+        sharded = ShardedServer(MIXED, epsilon=1.0, shards=np.int64(3))
+        assert sharded.n_shards == 3
 
     def test_round_robin_routing(self):
         schema, spec = _session("laplace")

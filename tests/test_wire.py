@@ -159,6 +159,15 @@ class TestStrictDecoding:
             )
             encode_batch(lying, client.contract)
 
+    @pytest.mark.parametrize(
+        "not_a_batch", [[1, 2, 3], b"bytes", {"users": 3}, None, 42]
+    )
+    def test_encode_rejects_non_batches_with_typed_error(self, not_a_batch):
+        """Regression: a list used to blow up with a raw AttributeError."""
+        client, _ = self._frame()
+        with pytest.raises(WireFormatError, match="ReportBatch"):
+            encode_batch(not_a_batch, client.contract)
+
     def test_fingerprint_peek(self):
         client, frame = self._frame()
         assert read_fingerprint(frame) == client.contract.fingerprint
