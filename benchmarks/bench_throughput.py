@@ -19,6 +19,12 @@ honest. Two families:
   length-prefixed frames through the acked/backpressured path, and the
   gateway drains-and-merges. Frames/second and MB/second land in the
   same JSON record under ``"socket"``.
+* **checkpoint stores**: a full round checkpoint (the workload's
+  aggregation snapshot plus sender watermarks) is saved and recovered
+  through each :mod:`repro.storage` backend. Round-trips/second and
+  MB/second per backend land in the same JSON record under
+  ``"checkpoint"`` — the cost of ``--checkpoint-every 1`` durability is
+  a number, not a guess.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ import pytest
 from repro.experiments.collection import mixed_schema
 from repro.mechanisms import available_mechanisms, get_mechanism
 from repro.session import LDPClient, ShardedServer
+from repro.storage import (
+    encode_document,
+    open_store,
+    round_checkpoint_document,
+)
 from repro.transport import AsyncReportSender, serve_collection
 from bench_config import BENCH_SEED
 
@@ -90,7 +101,7 @@ def _wire_workload():
 
 
 def _record_wire_result(
-    results_dir, shards: int, payload: dict, section: str = "results"
+    results_dir, key, payload: dict, section: str = "results"
 ) -> None:
     """Merge one measurement into the machine-readable record."""
     path = results_dir / "wire_throughput.json"
@@ -113,9 +124,10 @@ def _record_wire_result(
     document["sections"] = {
         "results": "wire_sharded_ingest",
         "socket": "socket_ingest",
+        "checkpoint": "checkpoint_store",
     }
     document["workload"] = workload
-    document.setdefault(section, {})[str(shards)] = payload
+    document.setdefault(section, {})[str(key)] = payload
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
 
@@ -219,4 +231,62 @@ def test_socket_ingest_throughput(benchmark, results_dir):
             "reports_per_second": throughput,
         },
         section="socket",
+    )
+
+
+# --------------------------------------------------------------------------
+# Checkpoint stores: round checkpoint save → recover, per backend
+# --------------------------------------------------------------------------
+
+CHECKPOINT_BACKENDS = ("file", "sqlite", "segments")
+#: Conservative floor (write+recover round-trips/second): a gateway at
+#: ``--checkpoint-every 1`` pays one write per acked frame, so a backend
+#: slower than this would dominate the socket path's frame rate.
+MIN_CHECKPOINT_ROUNDTRIPS = 5.0
+
+
+@pytest.mark.parametrize("backend", CHECKPOINT_BACKENDS)
+def test_checkpoint_store_throughput(benchmark, results_dir, tmp_path, backend):
+    schema, client, batches = _wire_workload()
+    server = ShardedServer(
+        schema, EPSILON, protocols={"category": "oue"}, shards=SOCKET_SHARDS
+    )
+    for batch in batches:
+        server.ingest_encoded(client.encode(batch))
+    document = round_checkpoint_document(
+        server.state_dict(),
+        {b"\x01" * 16: WIRE_BATCHES},
+        WIRE_BATCHES,
+    )
+    checkpoint_bytes = len(encode_document(document))
+    uri = {
+        "file": "file://%s" % (tmp_path / "bench.json"),
+        "sqlite": "sqlite://%s" % (tmp_path / "bench.db"),
+        "segments": "segments://%s" % (tmp_path / "bench-segments"),
+    }[backend]
+
+    with open_store(uri) as store:
+
+        def save_and_recover():
+            store.save(document)
+            return store.recover()
+
+        recovered = benchmark(save_and_recover)
+    assert recovered["frames"] == WIRE_BATCHES
+    seconds = benchmark.stats.stats.mean
+    roundtrips = 1.0 / seconds
+    assert roundtrips > MIN_CHECKPOINT_ROUNDTRIPS, (
+        "%s store manages only %.1f checkpoint round-trips/s"
+        % (backend, roundtrips)
+    )
+    _record_wire_result(
+        results_dir,
+        backend,
+        {
+            "seconds_mean": seconds,
+            "roundtrips_per_second": roundtrips,
+            "checkpoint_bytes": checkpoint_bytes,
+            "mb_per_second": checkpoint_bytes / seconds / 1e6,
+        },
+        section="checkpoint",
     )

@@ -67,12 +67,14 @@ from .analysis import (
 from .exceptions import (
     AggregationError,
     CalibrationError,
+    CheckpointCorruptError,
     ContractMismatchError,
     DimensionError,
     DistributionError,
     DomainError,
     PrivacyBudgetError,
     ReproError,
+    StorageError,
     TransportError,
     WireFormatError,
 )
@@ -137,6 +139,14 @@ from .session import (
     SessionEstimate,
     ShardedServer,
 )
+from .storage import (
+    AutoCheckpointer,
+    CheckpointStore,
+    JsonFileStore,
+    SegmentLogStore,
+    SqliteStore,
+    open_store,
+)
 from .transport import (
     AsyncReportSender,
     CollectionGateway,
@@ -165,10 +175,13 @@ __all__ = [
     "Aggregator",
     "AsyncReportSender",
     "AttributeEstimate",
+    "AutoCheckpointer",
     "BerryEsseenBound",
     "BudgetPlan",
     "CalibrationError",
     "CategoricalAttribute",
+    "CheckpointCorruptError",
+    "CheckpointStore",
     "Client",
     "CollectionContract",
     "CollectionGateway",
@@ -184,6 +197,7 @@ __all__ = [
     "FrequencyOracle",
     "GeneralizedRandomizedResponse",
     "HybridMechanism",
+    "JsonFileStore",
     "LDPClient",
     "LDPServer",
     "LaplaceMechanism",
@@ -201,10 +215,13 @@ __all__ = [
     "ReportBatch",
     "ReproError",
     "Schema",
+    "SegmentLogStore",
     "SessionEstimate",
     "ShardedServer",
+    "SqliteStore",
     "SquareWaveMechanism",
     "StaircaseMechanism",
+    "StorageError",
     "TransportError",
     "UtilityReport",
     "ValueDistribution",
@@ -232,6 +249,7 @@ __all__ = [
     "max_abs_deviation",
     "mse",
     "normalize",
+    "open_store",
     "poisson_dataset",
     "read_fingerprint",
     "recalibrate_l1",

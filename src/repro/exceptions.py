@@ -59,6 +59,29 @@ class ContractMismatchError(ReproError, ValueError):
     """
 
 
+class StorageError(ReproError, RuntimeError):
+    """Raised when a checkpoint store cannot serve a request.
+
+    Covers unusable store locations (unknown URI schemes, unwritable
+    directories), backend failures surfaced during a save, and requests a
+    store cannot honour (loading from a store that was never written).
+    Raw backend exceptions (``sqlite3``, ``json``, ``OSError`` from the
+    backend's own files) never escape a :class:`~repro.storage.
+    CheckpointStore` — they arrive as this type or as
+    :class:`CheckpointCorruptError`.
+    """
+
+
+class CheckpointCorruptError(StorageError, WireFormatError):
+    """Raised when a stored checkpoint fails integrity validation.
+
+    Garbage bytes, CRC failures, torn record tails and schema-drifted
+    documents all land here. Subclasses :class:`WireFormatError` too, so
+    callers that already guard state restoration with the wire-layer
+    type keep working when the state travels through a checkpoint store.
+    """
+
+
 class TransportError(ReproError, RuntimeError):
     """Raised when the socket transport itself fails.
 

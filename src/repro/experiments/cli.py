@@ -85,11 +85,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     collection.add_argument(
         "--checkpoint",
-        metavar="PATH",
+        metavar="URI",
         default=None,
-        help="save the server state to PATH mid-stream, restore into a "
-        "fresh server and resume (exercises save/load + merge; the "
-        "estimates are bit-identical either way)",
+        help="checkpoint store URI: file://PATH, sqlite://PATH, "
+        "segments://DIR, or a bare path (JSON file). In-process: save "
+        "the server state mid-stream, restore into a fresh server and "
+        "resume (bit-identical estimates either way). With --serve: "
+        "make the round durable — checkpoint per --checkpoint-every "
+        "and resume from the newest intact checkpoint on start",
+    )
+    collection.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve mode: checkpoint every N accepted frames, before "
+        "the Nth frame's ack goes out (requires --checkpoint; "
+        "default 1: every acknowledged frame is durable)",
+    )
+    collection.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="connect mode: up to N connection attempts half a second "
+        "apart (default 1) — rides out a gateway restart mid-round; "
+        "the resumed stream skips already-durable frames",
     )
     socket_mode = collection.add_mutually_exclusive_group()
     socket_mode.add_argument(
@@ -231,10 +252,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # user must hear about, not a silent no-op.
         socket_mode = args.serve or args.connect or args.oneshot
         if socket_mode:
-            if args.checkpoint is not None:
+            if args.checkpoint is not None and not args.serve:
                 parser.error(
-                    "--checkpoint only applies to the in-process "
-                    "collection experiment, not --serve/--connect/--oneshot"
+                    "--checkpoint applies to --serve (the gateway owns "
+                    "the round's durable state) and the in-process "
+                    "collection experiment, not --connect/--oneshot"
                 )
             if quick:
                 parser.error(
@@ -256,14 +278,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "--batches only applies to --connect/--oneshot (the "
                     "gateway takes frames as they come)"
                 )
+            if args.retry is not None and not args.connect:
+                parser.error(
+                    "--retry only applies to --connect (senders own the "
+                    "reconnect loop)"
+                )
             if not args.serve:
                 for name, value in [
                     ("--expect-users", args.expect_users),
                     ("--queue-depth", args.queue_depth),
                     ("--port-file", args.port_file),
+                    ("--checkpoint-every", args.checkpoint_every),
                 ]:
                     if value is not None:
                         parser.error("%s only applies to --serve" % name)
+            if args.checkpoint_every is not None and args.checkpoint is None:
+                parser.error("--checkpoint-every requires --checkpoint")
         else:
             ignored = [
                 name
@@ -273,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     ("--expect-users", args.expect_users),
                     ("--queue-depth", args.queue_depth),
                     ("--port-file", args.port_file),
+                    ("--checkpoint-every", args.checkpoint_every),
+                    ("--retry", args.retry),
                 ]
                 if value is not None
             ]
@@ -304,12 +336,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         else 8
                     ),
                     port_file=args.port_file,
+                    checkpoint=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
                 )
             )
         elif args.connect:
             print(
                 run_collection_sender(
-                    args.connect, seed=seed, users=users, batches=batches
+                    args.connect,
+                    seed=seed,
+                    users=users,
+                    batches=batches,
+                    retry=args.retry if args.retry is not None else 1,
                 )
             )
         elif args.oneshot:

@@ -32,6 +32,7 @@ import numpy as np
 from ..hdr4me.frequency import postprocess_frequencies, true_frequencies
 from ..hdr4me.recalibrator import Recalibrator
 from ..rng import RngLike, ensure_rng, spawn_children
+from ..storage import open_store
 from ..session import (
     CategoricalAttribute,
     LDPClient,
@@ -123,10 +124,12 @@ def _collect_stream(
     """Stream one collection round, optionally sharded and checkpointed.
 
     With ``shards > 1`` every batch travels wire-encoded (contract
-    fingerprint verified on ingest). With a ``checkpoint`` path the
-    server state is saved halfway through the stream, restored into a
-    *fresh* server, and the stream resumed — exercising save/load/merge
-    in-process without changing the estimates by a single bit.
+    fingerprint verified on ingest). With a ``checkpoint`` URI (any
+    :func:`~repro.storage.open_store` scheme; a bare path means the
+    atomic JSON file backend) the server state is saved halfway through
+    the stream, restored into a *fresh* server, and the stream resumed —
+    exercising save/restore/merge in-process without changing the
+    estimates by a single bit.
     """
     client = LDPClient(schema, epsilon, protocols=spec)
     server: Union[LDPServer, ShardedServer]
@@ -142,15 +145,15 @@ def _collect_stream(
         else:
             server.ingest(client.report_batch(chunk, child))
         if resume_after is not None and index == resume_after:
-            server.save_state(checkpoint)
-            if shards > 1:
-                server = ShardedServer(
-                    schema, epsilon, protocols=spec, shards=shards
-                ).load_state(checkpoint)
-            else:
-                server = LDPServer(schema, epsilon, protocols=spec).load_state(
-                    checkpoint
-                )
+            with open_store(str(checkpoint)) as store:
+                store.save(server.state_dict())
+                if shards > 1:
+                    server = ShardedServer(
+                        schema, epsilon, protocols=spec, shards=shards
+                    )
+                else:
+                    server = LDPServer(schema, epsilon, protocols=spec)
+                server.load_state_dict(store.load())
     return server
 
 

@@ -19,12 +19,16 @@ categorical attribute), all deterministic in their seeds:
 Estimates are printed with ``float.hex`` values, so ``diff`` between a
 socket round's output and the one-shot reference asserts bit-identical
 aggregation end to end — the CI smoke job does exactly that with two
-concurrent clients and two shards.
+concurrent clients and two shards, and the crash-recovery smoke job
+repeats it across a SIGKILLed gateway resumed from ``--checkpoint``
+(senders replay, the gateway deduplicates, the diff still comes out
+empty).
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import pathlib
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -33,11 +37,15 @@ import numpy as np
 from ..session import (
     LDPClient,
     LDPServer,
+    ReportBatch,
     Schema,
     SessionEstimate,
     ShardedServer,
 )
-from ..transport import AsyncReportSender, serve_collection
+from ..storage import open_store
+from ..transport import replay_frames, serve_collection
+from ..transport.framing import SENDER_ID_SIZE
+from ..wire.codec import encode_batch
 from ..wire.contract import CollectionContract
 from .collection import _mixed_records, mixed_schema
 
@@ -73,6 +81,16 @@ def round_frames(seed: int, users: int, batches: int) -> List[bytes]:
     ]
 
 
+def round_sender_id(seed: int) -> bytes:
+    """The deterministic sender id of the ``--seed N`` client.
+
+    A re-run of the same seed is the *same* logical stream, so a client
+    restarted after a crash (its own or the gateway's) resumes at the
+    gateway's watermark instead of double-contributing its reports.
+    """
+    return hashlib.sha256(b"repro-sender:%d" % seed).digest()[:SENDER_ID_SIZE]
+
+
 def format_round_estimate(estimate: SessionEstimate) -> str:
     """Render an estimate with ``float.hex`` values (diff == bit-equality)."""
     lines = ["users %d" % estimate.users]
@@ -102,6 +120,8 @@ def run_collection_gateway(
     expect_users: int = 4000,
     queue_depth: int = 8,
     port_file: Optional[Union[str, pathlib.Path]] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> str:
     """Serve one socket round and return the formatted merged estimate.
 
@@ -110,8 +130,18 @@ def run_collection_gateway(
     merges, and renders the estimate. ``port_file`` (written once the
     socket is bound, holding the bare port number) lets scripts start
     the server on port 0 and discover where it landed.
+
+    ``checkpoint`` (a storage URI: ``file://``, ``sqlite://``,
+    ``segments://``, or a bare JSON-file path) makes the round durable:
+    the gateway checkpoints every ``checkpoint_every`` accepted frames
+    (default 1 — every ack is durable) and resumes from the newest
+    intact checkpoint on start, so a killed-and-restarted gateway
+    finishes the round with estimates bit-identical to an uninterrupted
+    one.
     """
     host, port = parse_endpoint(endpoint)
+    if checkpoint is not None and checkpoint_every is None:
+        checkpoint_every = 1
 
     async def _serve() -> str:
         server = ShardedServer(
@@ -120,45 +150,87 @@ def run_collection_gateway(
             protocols=ROUND_PROTOCOLS,
             shards=shards,
         )
-        gateway = await serve_collection(
-            server, host, port, queue_depth=queue_depth
-        )
+        store = open_store(checkpoint) if checkpoint is not None else None
         try:
-            if port_file is not None:
-                pathlib.Path(port_file).write_text("%d\n" % gateway.port)
-            await gateway.wait_for_users(expect_users)
+            gateway = await serve_collection(
+                server,
+                host,
+                port,
+                queue_depth=queue_depth,
+                store=store,
+                checkpoint_every_frames=checkpoint_every,
+            )
+            try:
+                if port_file is not None:
+                    pathlib.Path(port_file).write_text("%d\n" % gateway.port)
+                await gateway.wait_for_users(expect_users)
+            finally:
+                # Bounded grace: in-flight clients may finish their
+                # stream (trailing heartbeats included), but one silent
+                # peer cannot hang the round after expect_users arrived.
+                await gateway.stop(grace=10.0)
+            return format_round_estimate(gateway.estimate())
         finally:
-            # Bounded grace: in-flight clients may finish their stream
-            # (trailing heartbeats included), but one silent peer cannot
-            # hang the round after expect_users arrived.
-            await gateway.stop(grace=10.0)
-        return format_round_estimate(gateway.estimate())
+            if store is not None:
+                store.close()
 
     return asyncio.run(_serve())
 
 
 def run_collection_sender(
-    endpoint: str, seed: int = 0, users: int = 4000, batches: int = 6
+    endpoint: str,
+    seed: int = 0,
+    users: int = 4000,
+    batches: int = 6,
+    retry: int = 1,
 ) -> str:
-    """Run one reporting client against a gateway; return a summary line."""
+    """Run one reporting client against a gateway; return a summary line.
+
+    The client's stream — its frames *and* its sender id — is a pure
+    function of ``(seed, users, batches)``, and every frame carries a
+    sequence number, so re-running the same seed against a resumed
+    gateway skips the already-durable prefix instead of double-counting
+    it. ``retry`` is the total number of connection attempts (half a
+    second apart): ``retry=30`` rides out a gateway restart of up to
+    ~15 seconds mid-round.
+    """
     host, port = parse_endpoint(endpoint)
     frames = round_frames(seed, users, batches)
+    # The trailing zero-user heartbeat is the round's last sequenced
+    # frame; on a resumed stream it is replayed (or skipped) like any
+    # other.
+    heartbeat = encode_batch(
+        ReportBatch(users=0, payloads={}, counts={}, protocols={}),
+        round_contract(),
+    )
+    stream = frames + [heartbeat]
 
-    async def _send() -> int:
-        sender = await AsyncReportSender.connect(host, port, round_contract())
-        async with sender:
-            for frame in frames:
-                await sender.send_encoded(frame)
-            payload_bytes = sender.bytes_sent  # heartbeat excluded, like
-            await sender.heartbeat()           # the frame count above
-            return payload_bytes
-
-    shipped = asyncio.run(_send())
-    return "sent %d frames (%d payload bytes) from seed %d" % (
-        len(frames),
-        shipped,
+    sender = asyncio.run(
+        replay_frames(
+            host,
+            port,
+            round_contract(),
+            stream,
+            round_sender_id(seed),
+            attempts=retry,
+            retry_delay=0.5,
+        )
+    )
+    # Skips cover a prefix of the stream (the gateway's watermark), so
+    # the payload split is exact; the heartbeat is the final frame.
+    payload_skipped = min(sender.frames_skipped, len(frames))
+    heartbeat_sent = sender.frames_skipped < len(stream)
+    payload_bytes = sender.bytes_sent - (
+        len(heartbeat) if heartbeat_sent else 0
+    )
+    summary = "sent %d frames (%d payload bytes) from seed %d" % (
+        len(frames) - payload_skipped,
+        payload_bytes,
         seed,
     )
+    if payload_skipped:
+        summary += "; skipped %d already-durable frames" % payload_skipped
+    return summary
 
 
 def run_oneshot_reference(

@@ -24,9 +24,6 @@ through constructors.
 
 from __future__ import annotations
 
-import contextlib
-import json
-import os
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
@@ -378,35 +375,28 @@ class LDPServer:
     def save_state(self, path: Union[str, pathlib.Path]) -> None:
         """Checkpoint the aggregation state to a JSON file.
 
-        The write is atomic (temp file + rename in the same directory),
-        so a crash mid-checkpoint can never destroy the previous good
-        checkpoint — and a failed write removes its scratch file instead
-        of leaving a stale partial ``.tmp`` beside the target.
+        Delegates to :class:`~repro.storage.JsonFileStore`, whose write
+        is atomic (temp file + rename in the same directory): a crash
+        mid-checkpoint can never destroy the previous good checkpoint,
+        and a failed write removes its scratch file instead of leaving a
+        stale partial ``.tmp`` beside the target.
         """
-        target = pathlib.Path(path)
-        document = json.dumps(self.state_dict(), sort_keys=True)
-        scratch = target.with_name(target.name + ".tmp")
-        try:
-            scratch.write_text(document + "\n")
-            os.replace(scratch, target)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                scratch.unlink()
-            raise
+        from ..storage import JsonFileStore
+
+        JsonFileStore(path).save(self.state_dict())
 
     def load_state(self, path: Union[str, pathlib.Path]) -> "LDPServer":
         """Resume from a :meth:`save_state` checkpoint (exactly).
 
         A restored server continues the round with estimates
-        bit-identical to one that never restarted.
+        bit-identical to one that never restarted. A damaged file raises
+        :class:`~repro.exceptions.CheckpointCorruptError` (a
+        :class:`WireFormatError`); a missing one raises
+        :class:`~repro.exceptions.StorageError`.
         """
-        try:
-            document = json.loads(pathlib.Path(path).read_text())
-        except json.JSONDecodeError as exc:
-            raise WireFormatError(
-                "state file %s is not valid JSON: %s" % (path, exc)
-            ) from None
-        return self.load_state_dict(document)
+        from ..storage import JsonFileStore
+
+        return self.load_state_dict(JsonFileStore(path).load_required())
 
     # ------------------------------------------------------------ estimate
 

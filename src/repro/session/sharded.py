@@ -149,12 +149,17 @@ class ShardedServer:
 
     # --------------------------------------------------------- checkpoints
 
-    def save_state(self, path: Union[str, pathlib.Path]) -> None:
-        """Checkpoint the merged state to a JSON file."""
-        self.merged().save_state(path)
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the merged aggregation state.
 
-    def load_state(self, path: Union[str, pathlib.Path]) -> "ShardedServer":
-        """Resume a round from a checkpoint (contract-verified).
+        Same document format as :meth:`LDPServer.state_dict`, so a
+        sharded snapshot restores into a single server and vice versa —
+        checkpoints are topology-independent.
+        """
+        return self.merged().state_dict()
+
+    def load_state_dict(self, state) -> "ShardedServer":
+        """Restore a :meth:`state_dict` snapshot (contract-verified).
 
         The restored state is loaded into shard 0; since aggregation is
         exactly additive this is indistinguishable — bit for bit — from
@@ -164,9 +169,30 @@ class ShardedServer:
         topology untouched.
         """
         restored = LDPServer(*self._constructor_args)
-        restored.load_state(path)
+        restored.load_state_dict(state)
+        self._install_restored(restored)
+        return self
+
+    def _install_restored(self, restored: LDPServer) -> None:
         for shard in self.shards[1:]:
             shard.reset()
         self.shards = (restored,) + self.shards[1:]
         self._cursor = 0
+
+    def save_state(self, path: Union[str, pathlib.Path]) -> None:
+        """Checkpoint the merged state to a JSON file (atomically).
+
+        Delegates to :class:`~repro.storage.JsonFileStore` like
+        :meth:`LDPServer.save_state` — temp file + rename, scratch file
+        removed on failure.
+        """
+        from ..storage import JsonFileStore
+
+        JsonFileStore(path).save(self.state_dict())
+
+    def load_state(self, path: Union[str, pathlib.Path]) -> "ShardedServer":
+        """Resume a round from a :meth:`save_state` checkpoint file."""
+        restored = LDPServer(*self._constructor_args)
+        restored.load_state(path)
+        self._install_restored(restored)
         return self

@@ -1,0 +1,119 @@
+"""Round checkpoint documents: server state plus per-sender watermarks.
+
+A *round checkpoint* is what the socket gateway persists between frames:
+the aggregation snapshot (:meth:`~repro.session.LDPServer.state_dict`)
+together with the high-water mark of acknowledged frame sequence numbers
+per sender connection. A restarted gateway restores the snapshot, tells
+each reconnecting sender its watermark, and acknowledges-without-folding
+any frame at or below it — so replayed frames are deduplicated and the
+finished round's estimates are bit-identical to an uninterrupted one.
+
+Structural damage (missing keys, wrong types, alien formats) raises
+:class:`~repro.exceptions.CheckpointCorruptError`; a checkpoint written
+under a *different* collection contract raises
+:class:`~repro.exceptions.ContractMismatchError` naming both
+fingerprints, exactly like batch ingestion does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from ..exceptions import CheckpointCorruptError
+from ..wire import CollectionContract
+
+ROUND_FORMAT = "repro-collection-round"
+ROUND_VERSION = 1
+
+
+def round_checkpoint_document(
+    state: Mapping[str, Any],
+    progress: Mapping[bytes, int],
+    frames: int,
+) -> Dict[str, Any]:
+    """Build the checkpoint document for one in-flight collection round.
+
+    Parameters
+    ----------
+    state:
+        An :meth:`~repro.session.LDPServer.state_dict` snapshot (its
+        embedded fingerprint is lifted to the top level so restoration
+        can refuse a foreign contract before touching the snapshot).
+    progress:
+        Highest *contiguously acknowledged* frame sequence number per
+        sender id. Keys are the raw 16-byte sender ids.
+    frames:
+        Total frames folded into ``state`` (observability only).
+    """
+    return {
+        "format": ROUND_FORMAT,
+        "round_version": ROUND_VERSION,
+        "fingerprint": state.get("fingerprint"),
+        "state": dict(state),
+        "progress": {
+            sender_id.hex(): int(watermark)
+            for sender_id, watermark in progress.items()
+        },
+        "frames": int(frames),
+    }
+
+
+def parse_round_checkpoint(
+    document: Mapping[str, Any],
+    contract: CollectionContract,
+) -> Tuple[Dict[str, Any], Dict[bytes, int], int]:
+    """Validate a round checkpoint against ``contract`` and unpack it.
+
+    Returns ``(state, progress, frames)`` with progress keyed by raw
+    sender-id bytes again.
+    """
+    if not isinstance(document, Mapping) or document.get("format") != ROUND_FORMAT:
+        raise CheckpointCorruptError(
+            "not a %r document: %r" % (ROUND_FORMAT, document)
+        )
+    if document.get("round_version") != ROUND_VERSION:
+        raise CheckpointCorruptError(
+            "unsupported round checkpoint version %r (this build speaks %d)"
+            % (document.get("round_version"), ROUND_VERSION)
+        )
+    fingerprint = document.get("fingerprint")
+    try:
+        digest = bytes.fromhex(fingerprint)
+    except (TypeError, ValueError):
+        raise CheckpointCorruptError(
+            "malformed round checkpoint fingerprint: %r" % (fingerprint,)
+        ) from None
+    contract.require_digest(digest, "round checkpoint")
+    state = document.get("state")
+    if not isinstance(state, Mapping):
+        raise CheckpointCorruptError(
+            "round checkpoint carries no state snapshot: %r" % (state,)
+        )
+    raw_progress = document.get("progress")
+    if not isinstance(raw_progress, Mapping):
+        raise CheckpointCorruptError(
+            "round checkpoint carries no progress table: %r" % (raw_progress,)
+        )
+    progress: Dict[bytes, int] = {}
+    for key, watermark in raw_progress.items():
+        try:
+            sender_id = bytes.fromhex(key)
+        except (TypeError, ValueError):
+            raise CheckpointCorruptError(
+                "malformed sender id %r in round checkpoint" % (key,)
+            ) from None
+        if (
+            not isinstance(watermark, int)
+            or isinstance(watermark, bool)
+            or watermark < 0
+        ):
+            raise CheckpointCorruptError(
+                "malformed watermark %r for sender %s" % (watermark, key)
+            )
+        progress[sender_id] = watermark
+    frames = document.get("frames")
+    if not isinstance(frames, int) or isinstance(frames, bool) or frames < 0:
+        raise CheckpointCorruptError(
+            "malformed frame count %r in round checkpoint" % (frames,)
+        )
+    return dict(state), progress, frames

@@ -9,21 +9,28 @@ the same strictness guarantees:
   *before* any payload bytes flow), accepted frames validated and fanned
   over a pool of concurrent shard consumers feeding a
   :class:`~repro.session.ShardedServer` through bounded queues (explicit
-  backpressure), graceful drain-and-merge on shutdown;
-* :class:`AsyncReportSender` — the user side: handshake, per-frame
-  acknowledged sends (the ack wait *is* the backpressure), zero-user
-  heartbeat frames for idle connections;
+  backpressure), graceful drain-and-merge on shutdown — and, with a
+  :class:`~repro.storage.CheckpointStore`, periodic round checkpoints
+  carrying per-sender acknowledgement watermarks, so a SIGKILLed gateway
+  restarts from durable state and resumes the round exactly;
+* :class:`AsyncReportSender` / :func:`replay_frames` — the user side:
+  handshake, per-frame acknowledged sequenced sends (the ack wait *is*
+  the backpressure), zero-user heartbeat frames for idle connections,
+  and crash-safe round replay that skips frames the gateway already
+  holds durably;
 * :mod:`repro.transport.framing` — the shared message definitions
-  (handshake structs, length-prefixed frames, typed status codes).
+  (handshake structs, sequenced length-prefixed frames, typed status
+  codes).
 
 Because aggregation is exact (:mod:`repro.session.streaming`), a socket
 round's estimate is bit-identical to one-shot in-process ingestion of
-the same report multiset — concurrency, routing, and backpressure stalls
-cannot move it by one ulp.
+the same report multiset — concurrency, routing, backpressure stalls,
+and even a mid-round crash-and-resume cannot move it by one ulp.
 """
 
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
+    SENDER_ID_SIZE,
     STATUS_CONTRACT_MISMATCH,
     STATUS_OK,
     STATUS_TRANSPORT_ERROR,
@@ -32,17 +39,19 @@ from .framing import (
     TRANSPORT_VERSION,
 )
 from .gateway import CollectionGateway, serve_collection
-from .sender import AsyncReportSender
+from .sender import AsyncReportSender, replay_frames
 
 __all__ = [
     "AsyncReportSender",
     "CollectionGateway",
     "DEFAULT_MAX_FRAME_BYTES",
+    "SENDER_ID_SIZE",
     "STATUS_CONTRACT_MISMATCH",
     "STATUS_OK",
     "STATUS_TRANSPORT_ERROR",
     "STATUS_WIRE_ERROR",
     "TRANSPORT_MAGIC",
     "TRANSPORT_VERSION",
+    "replay_frames",
     "serve_collection",
 ]

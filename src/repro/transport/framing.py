@@ -1,12 +1,14 @@
 """Stream framing and handshake messages of the socket transport.
 
 Everything that travels over a collection socket is defined here, so the
-gateway and the sender agree byte for byte:
+gateway and the sender agree byte for byte.
 
 Handshake (before any payload bytes flow)::
 
-    client hello   magic b"LDPT" | u16 transport version | 16B contract digest
-    gateway reply  magic b"LDPT" | u16 transport version | 16B contract digest
+    client hello   magic b"LDPT" | u16 transport version
+                   | 16B contract digest | 16B sender id
+    gateway reply  magic b"LDPT" | u16 transport version
+                   | 16B contract digest | u64 resume watermark
                    | status message
 
 The gateway compares the client's digest with its own contract *first*
@@ -14,21 +16,33 @@ and answers ``STATUS_CONTRACT_MISMATCH`` (then closes) on disagreement —
 a misconfigured sender is turned away before it ships a single report.
 The sender symmetrically refuses a gateway whose digest differs.
 
+The *sender id* names the logical report stream (stable across
+reconnects of the same sender); the gateway's *resume watermark* is the
+highest frame sequence number it has durably folded for that sender —
+``0`` for a stream it has never seen. A reconnecting sender skips every
+frame at or below the watermark instead of re-sending it, and the
+gateway acknowledges-without-folding any duplicate that arrives anyway,
+so a retried round can never double-count a report.
+
 Data phase (client → gateway)::
 
-    u32 length | length bytes of one encode_batch frame
+    u64 sequence number | u32 length | length bytes of one encode_batch frame
 
-and each frame is answered by a status message (gateway → client)::
+Sequence numbers start at 1 and increase by exactly 1 per frame of a
+sender's stream — a gap is a protocol violation (the gateway cannot know
+what it missed), answered with ``STATUS_WIRE_ERROR``. Each frame is
+answered by a status message (gateway → client)::
 
     u8 status | u32 message length | utf-8 message
 
 ``STATUS_OK`` acknowledges that the frame was decoded, validated against
-the contract, and handed to a shard consumer. Error statuses carry the
-server-side diagnostic and map back onto the library's typed exceptions
-via :func:`raise_for_status`; after reporting one the gateway closes the
-connection (a stream that produced malformed bytes cannot be trusted to
-stay in frame). A client ends its stream by half-closing the connection
-(EOF instead of a length prefix).
+the contract, and handed to a shard consumer — and, on a checkpointing
+gateway, that every checkpoint the frame triggered is durable. Error
+statuses carry the server-side diagnostic and map back onto the
+library's typed exceptions via :func:`raise_for_status`; after reporting
+one the gateway closes the connection (a stream that produced malformed
+bytes cannot be trusted to stay in frame). A client ends its stream by
+half-closing the connection (EOF instead of a frame header).
 """
 
 from __future__ import annotations
@@ -45,8 +59,12 @@ from ..wire.contract import DIGEST_SIZE
 TRANSPORT_MAGIC = b"LDPT"
 
 #: Version of the socket transport (handshake + framing), independent of
-#: the wire codec version embedded in every payload frame.
-TRANSPORT_VERSION = 1
+#: the wire codec version embedded in every payload frame. Version 2
+#: added sender ids, frame sequence numbers and the resume watermark.
+TRANSPORT_VERSION = 2
+
+#: Bytes naming one logical report stream across reconnects.
+SENDER_ID_SIZE = 16
 
 #: Frames longer than this are rejected before allocation — a corrupted
 #: or hostile length prefix must not balloon gateway memory.
@@ -61,8 +79,9 @@ STATUS_WIRE_ERROR = 1
 STATUS_CONTRACT_MISMATCH = 2
 STATUS_TRANSPORT_ERROR = 3
 
-HELLO = struct.Struct("<4sH%ds" % DIGEST_SIZE)
-_LENGTH = struct.Struct("<I")
+HELLO = struct.Struct("<4sH%ds%ds" % (DIGEST_SIZE, SENDER_ID_SIZE))
+HELLO_REPLY = struct.Struct("<4sH%dsQ" % DIGEST_SIZE)
+_FRAME_HEAD = struct.Struct("<QI")
 _STATUS_HEAD = struct.Struct("<BI")
 
 
@@ -104,41 +123,47 @@ def raise_for_status(status: int, message: str) -> None:
     )
 
 
-def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
-    """Queue one length-prefixed frame on the stream (await ``drain()``)."""
-    writer.write(_LENGTH.pack(len(payload)))
+def write_frame(writer: asyncio.StreamWriter, seq: int, payload: bytes) -> None:
+    """Queue one sequenced frame on the stream (await ``drain()``)."""
+    writer.write(_FRAME_HEAD.pack(seq, len(payload)))
     writer.write(payload)
 
 
 async def read_frame(
     reader: asyncio.StreamReader, max_frame_bytes: int
-) -> Optional[bytes]:
-    """Read one length-prefixed frame.
+) -> Optional[Tuple[int, bytes]]:
+    """Read one sequenced frame as ``(seq, payload)``.
 
-    Returns ``None`` on a clean end of stream (EOF instead of a length
-    prefix — how senders finish a round). Raises
-    :class:`WireFormatError` for an over-limit length prefix and
-    :class:`TransportError` for a connection dropped mid-frame.
+    Returns ``None`` on a clean end of stream (EOF instead of a frame
+    header — how senders finish a round). Raises
+    :class:`WireFormatError` for an over-limit length prefix or a zero
+    sequence number, and :class:`TransportError` for a connection
+    dropped mid-frame.
     """
     try:
-        head = await reader.readexactly(_LENGTH.size)
+        head = await reader.readexactly(_FRAME_HEAD.size)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
         raise TransportError(
-            "connection closed mid-prefix (%d of %d bytes)"
-            % (len(exc.partial), _LENGTH.size)
+            "connection closed mid-header (%d of %d bytes)"
+            % (len(exc.partial), _FRAME_HEAD.size)
         ) from None
     except ConnectionError as exc:
         raise TransportError("connection lost: %s" % exc) from None
-    (length,) = _LENGTH.unpack(head)
+    seq, length = _FRAME_HEAD.unpack(head)
+    if seq == 0:
+        raise WireFormatError(
+            "frame sequence numbers start at 1; 0 is reserved for "
+            "a stream with nothing acknowledged"
+        )
     if length > max_frame_bytes:
         raise WireFormatError(
             "frame of %d bytes exceeds the transport limit of %d"
             % (length, max_frame_bytes)
         )
     try:
-        return await reader.readexactly(length)
+        return seq, await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError) as exc:
         raise TransportError(
             "connection closed mid-frame: %s" % exc

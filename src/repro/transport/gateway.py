@@ -14,12 +14,26 @@ blocks. A slow shard therefore slows its producers down instead of
 ballooning gateway memory; nothing is dropped and nothing is buffered
 beyond ``shards x queue_depth`` validated batches.
 
+Durability is opt-in: hand the gateway a
+:class:`~repro.storage.CheckpointStore` and it periodically persists a
+*round checkpoint* — the exact aggregation snapshot plus, per sender id,
+the highest contiguously acknowledged frame sequence number. A restarted
+gateway recovers the newest intact checkpoint, tells each reconnecting
+sender its watermark (so the sender skips durable frames), and
+acknowledges-without-folding any duplicate that arrives anyway. Because
+aggregation is exact, a round interrupted by SIGKILL and resumed from
+checkpoint finishes with estimates bit-identical to one that never
+crashed — zero double-counted frames. Frame-count triggers are honoured
+*before* the triggering frame's ack goes out, so a sender that saw all
+its acks knows its whole stream is durable.
+
 Shutdown is drain-and-merge: :meth:`CollectionGateway.stop` stops
 accepting, lets in-flight connections finish, joins every shard queue
-(all accepted frames folded), then cancels the consumers. Because
-aggregation is exact (:mod:`repro.session.streaming`), the estimate read
-afterwards is bit-identical to one-shot in-process ingestion of the same
-report multiset — the acceptance invariant of the socket path.
+(all accepted frames folded), writes a final checkpoint when a store is
+configured, then cancels the consumers. Because aggregation is exact
+(:mod:`repro.session.streaming`), the estimate read afterwards is
+bit-identical to one-shot in-process ingestion of the same report
+multiset — the acceptance invariant of the socket path.
 
 Frames are validated *before* they are acknowledged: decode
 (CRC, structure), contract fingerprint, and full server-side payload
@@ -33,7 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import operator
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..session.sharded import ShardedServer
 from ..session.server import LDPServer, Postprocessor, SessionEstimate
@@ -41,14 +55,21 @@ from ..exceptions import (
     ContractMismatchError,
     DimensionError,
     DomainError,
+    StorageError,
     TransportError,
     WireFormatError,
+)
+from ..storage import (
+    CheckpointStore,
+    parse_round_checkpoint,
+    round_checkpoint_document,
 )
 from ..wire.codec import decode_batch
 from ..wire.contract import CollectionContract
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     HELLO,
+    HELLO_REPLY,
     STATUS_CONTRACT_MISMATCH,
     STATUS_OK,
     STATUS_TRANSPORT_ERROR,
@@ -75,6 +96,20 @@ class CollectionGateway:
         values smooth bursts at the cost of buffered memory.
     max_frame_bytes:
         Reject frames longer than this before allocating them.
+    store:
+        Optional :class:`~repro.storage.CheckpointStore` for round
+        checkpoints. :meth:`start` recovers the newest intact checkpoint
+        from it (state, watermarks and counters resume), :meth:`stop`
+        writes a final one, and the ``checkpoint_every_*`` triggers
+        write periodic ones in between. The caller owns the store's
+        lifetime (the gateway never closes it).
+    checkpoint_every_frames:
+        Checkpoint after this many accepted frames — *before* the
+        triggering frame's ack is sent, so an acknowledged frame on a
+        frame-triggered gateway is a durable frame.
+    checkpoint_every_seconds:
+        Checkpoint at least this often (in gateway-loop time) while
+        frames are arriving.
     """
 
     def __init__(
@@ -82,6 +117,9 @@ class CollectionGateway:
         server: ShardedServer,
         queue_depth: int = 8,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        store: Optional[CheckpointStore] = None,
+        checkpoint_every_frames: Optional[int] = None,
+        checkpoint_every_seconds: Optional[float] = None,
     ) -> None:
         try:
             depth = operator.index(queue_depth)
@@ -100,9 +138,41 @@ class CollectionGateway:
                 "max_frame_bytes must be >= 1 (every frame, even a "
                 "zero-user heartbeat, has a header), got %d" % frame_limit
             )
+        if store is None and (
+            checkpoint_every_frames is not None
+            or checkpoint_every_seconds is not None
+        ):
+            raise StorageError(
+                "checkpoint triggers need a checkpoint store"
+            )
+        if checkpoint_every_frames is not None and int(
+            checkpoint_every_frames
+        ) < 1:
+            raise StorageError(
+                "checkpoint_every_frames must be >= 1, got %r"
+                % (checkpoint_every_frames,)
+            )
+        if checkpoint_every_seconds is not None and float(
+            checkpoint_every_seconds
+        ) <= 0:
+            raise StorageError(
+                "checkpoint_every_seconds must be > 0, got %r"
+                % (checkpoint_every_seconds,)
+            )
         self.server = server
         self.queue_depth = depth
         self.max_frame_bytes = frame_limit
+        self.store = store
+        self.checkpoint_every_frames = (
+            None
+            if checkpoint_every_frames is None
+            else int(checkpoint_every_frames)
+        )
+        self.checkpoint_every_seconds = (
+            None
+            if checkpoint_every_seconds is None
+            else float(checkpoint_every_seconds)
+        )
         self._queues: List[asyncio.Queue] = []
         self._consumers: List[asyncio.Task] = []
         self._connections: Set[asyncio.Task] = set()
@@ -112,14 +182,28 @@ class CollectionGateway:
         self._stopping = False
         self._fold_error: Optional[Exception] = None
         self._cursor = 0
+        # Resume bookkeeping: highest contiguously acknowledged frame
+        # sequence number per sender id, and the senders connected right
+        # now (a sender id names ONE stream — concurrent connections
+        # under the same id would make its watermark meaningless).
+        self._acked: Dict[bytes, int] = {}
+        self._active_senders: Set[bytes] = set()
+        # Intake barrier: checkpoint() holds this across drain+snapshot
+        # so no frame can be queued (or its watermark advanced) while
+        # the snapshot is being cut — acked == folded at save time.
+        self._intake_lock = asyncio.Lock()
+        self._timer: Optional[asyncio.Task] = None
+        self._frames_since_checkpoint = 0
         # Counters: "accepted" means validated + acked + queued; the
         # batch is folded into a shard by drain time at the latest.
         self.frames_accepted = 0
         self.frames_rejected = 0
+        self.frames_deduped = 0
         self.handshakes_rejected = 0
         self.users_accepted = 0
         self.bytes_received = 0
         self.heartbeats = 0
+        self.checkpoints_written = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -131,9 +215,30 @@ class CollectionGateway:
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
     ) -> "CollectionGateway":
-        """Bind the listening socket and spawn the shard consumers."""
+        """Bind the listening socket and spawn the shard consumers.
+
+        With a checkpoint store configured, the newest intact round
+        checkpoint is recovered *first*: the aggregation state, the
+        per-sender watermarks and the frame counters all resume, and the
+        restored round continues as if the process had never died. A
+        checkpoint written under a different contract raises
+        :class:`~repro.exceptions.ContractMismatchError` naming both
+        fingerprints; a damaged store raises
+        :class:`~repro.exceptions.CheckpointCorruptError`.
+        """
         if self._tcp is not None:
             raise TransportError("gateway is already serving")
+        if self.store is not None:
+            document = self.store.recover()
+            if document is not None:
+                state, progress, frames = parse_round_checkpoint(
+                    document, self.contract
+                )
+                self.server.load_state_dict(state)
+                self._acked = dict(progress)
+                self.frames_accepted = frames
+                self.users_accepted = self.server.users
+                self._frames_since_checkpoint = 0
         self._stopping = False
         self._progress = asyncio.Event()
         self._queues = [
@@ -150,6 +255,8 @@ class CollectionGateway:
             asyncio.ensure_future(self._consume(index))
             for index in range(len(self._queues))
         ]
+        if self.checkpoint_every_seconds is not None:
+            self._timer = asyncio.ensure_future(self._checkpoint_timer())
         return self
 
     @property
@@ -183,16 +290,16 @@ class CollectionGateway:
         """Graceful drain-and-merge shutdown.
 
         Stops accepting, waits for in-flight connections to finish,
-        drains every shard queue, then cancels the consumers.
-        ``abort_connections`` closes connections immediately instead of
-        waiting; ``grace`` waits up to that many seconds and then closes
-        whatever is still open — so one silent peer cannot hang the
-        shutdown forever. Either way every acknowledged frame is folded.
-        A frame in flight when its connection was aborted may be folded
-        *without* its ack reaching the sender (the usual ambiguity of
-        any acknowledged stream: the sender cannot tell a lost frame
-        from a lost ack) — retrying such a frame on a gateway that will
-        merge with this one can double-count it.
+        drains every shard queue, writes a final checkpoint when a store
+        is configured (and something changed since the last one), then
+        cancels the consumers. ``abort_connections`` closes connections
+        immediately instead of waiting; ``grace`` waits up to that many
+        seconds and then closes whatever is still open — so one silent
+        peer cannot hang the shutdown forever. Either way every
+        acknowledged frame is folded. A frame in flight when its
+        connection was aborted may be folded *without* its ack reaching
+        the sender — harmless under resume: the gateway's watermark
+        covers it, so a retry is deduplicated instead of double-counted.
         """
         # Settle the connections BEFORE awaiting wait_closed(): on
         # Python >= 3.12 Server.wait_closed() waits for every connection
@@ -203,6 +310,10 @@ class CollectionGateway:
         tcp, self._tcp = self._tcp, None
         if tcp is not None:
             tcp.close()  # stop accepting; existing connections live on
+        if self._timer is not None:
+            self._timer.cancel()
+            await asyncio.gather(self._timer, return_exceptions=True)
+            self._timer = None
         pending = list(self._connections)
         if abort_connections:
             for writer in list(self._writers):
@@ -219,6 +330,12 @@ class CollectionGateway:
         if tcp is not None:
             await tcp.wait_closed()
         await self.drain()
+        if (
+            self.store is not None
+            and self._fold_error is None
+            and (self._frames_since_checkpoint or not self.checkpoints_written)
+        ):
+            await self.checkpoint()
         for consumer in self._consumers:
             consumer.cancel()
         await asyncio.gather(*self._consumers, return_exceptions=True)
@@ -239,6 +356,48 @@ class CollectionGateway:
             if self.users_accepted >= int(count):
                 break
             await self._progress.wait()
+
+    # ----------------------------------------------------------- checkpoints
+
+    async def checkpoint(self) -> None:
+        """Persist a round checkpoint now (state + sender watermarks).
+
+        Holds the intake barrier while draining the shard queues and
+        cutting the snapshot, so the saved state covers *exactly* the
+        acknowledged frames — every watermark in the checkpoint is a
+        frame folded into the saved state, nothing more, nothing less.
+        """
+        if self.store is None:
+            raise StorageError("this gateway has no checkpoint store")
+        async with self._intake_lock:
+            await self.drain()
+            self._check_folds()
+            document = round_checkpoint_document(
+                self.server.state_dict(), self._acked, self.frames_accepted
+            )
+            self.store.save(document)
+            self.checkpoints_written += 1
+            self._frames_since_checkpoint = 0
+
+    async def _checkpoint_timer(self) -> None:
+        """Time-triggered checkpoints (only when frames arrived since)."""
+        period = self.checkpoint_every_seconds
+        while True:
+            await asyncio.sleep(period)
+            if not self._frames_since_checkpoint:
+                continue
+            try:
+                await self.checkpoint()
+            except Exception as exc:  # poison: acks must stop flowing
+                if self._fold_error is None:
+                    self._fold_error = exc
+                return
+
+    def _frame_checkpoint_due(self) -> bool:
+        return (
+            self.checkpoint_every_frames is not None
+            and self._frames_since_checkpoint >= self.checkpoint_every_frames
+        )
 
     # ------------------------------------------------------------- consumers
 
@@ -287,12 +446,16 @@ class CollectionGateway:
         if task is not None:
             self._connections.add(task)
         self._writers.add(writer)
+        sender_id: Optional[bytes] = None
         try:
-            if await self._handshake(reader, writer):
-                await self._pump(reader, writer)
+            sender_id = await self._handshake(reader, writer)
+            if sender_id is not None:
+                await self._pump(reader, writer, sender_id)
         except (ConnectionError, TransportError):
             pass  # peer vanished: accepted frames stay accepted
         finally:
+            if sender_id is not None:
+                self._active_senders.discard(sender_id)
             self._writers.discard(writer)
             writer.close()
             try:
@@ -308,11 +471,15 @@ class CollectionGateway:
         status: int,
         message: str = "",
         hello: bool = False,
+        resume: int = 0,
     ) -> None:
         if hello:
             writer.write(
-                HELLO.pack(
-                    TRANSPORT_MAGIC, TRANSPORT_VERSION, self.contract.digest
+                HELLO_REPLY.pack(
+                    TRANSPORT_MAGIC,
+                    TRANSPORT_VERSION,
+                    self.contract.digest,
+                    resume,
                 )
             )
         writer.write(pack_status(status, message))
@@ -320,14 +487,20 @@ class CollectionGateway:
 
     async def _handshake(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> bool:
-        """Verify the contract fingerprint before any payload bytes flow."""
+    ) -> Optional[bytes]:
+        """Verify the contract fingerprint before any payload bytes flow.
+
+        Returns the connection's sender id (registered as active) on
+        success, ``None`` on a refused handshake. The success reply
+        carries the stream's resume watermark, so a reconnecting sender
+        knows exactly which frames are already durable.
+        """
         try:
-            magic, version, digest = HELLO.unpack(
+            magic, version, digest, sender_id = HELLO.unpack(
                 await reader.readexactly(HELLO.size)
             )
         except asyncio.IncompleteReadError:
-            return False  # probe/scan connection: nothing to answer
+            return None  # probe/scan connection: nothing to answer
         if magic != TRANSPORT_MAGIC:
             self.handshakes_rejected += 1
             await self._reply(
@@ -337,7 +510,7 @@ class CollectionGateway:
                 "(expected %r)" % (magic, TRANSPORT_MAGIC),
                 hello=True,
             )
-            return False
+            return None
         if version != TRANSPORT_VERSION:
             self.handshakes_rejected += 1
             await self._reply(
@@ -347,7 +520,7 @@ class CollectionGateway:
                 % (version, TRANSPORT_VERSION),
                 hello=True,
             )
-            return False
+            return None
         if digest != self.contract.digest:
             self.handshakes_rejected += 1
             await self._reply(
@@ -359,23 +532,50 @@ class CollectionGateway:
                 % (bytes(digest).hex(), self.contract.fingerprint),
                 hello=True,
             )
-            return False
-        await self._reply(writer, STATUS_OK, hello=True)
-        return True
+            return None
+        if sender_id in self._active_senders:
+            self.handshakes_rejected += 1
+            await self._reply(
+                writer,
+                STATUS_TRANSPORT_ERROR,
+                "sender id %s is already connected: a sender id names one "
+                "resumable stream, so concurrent connections under it "
+                "would corrupt its watermark" % sender_id.hex(),
+                hello=True,
+            )
+            return None
+        self._active_senders.add(sender_id)
+        await self._reply(
+            writer,
+            STATUS_OK,
+            hello=True,
+            resume=self._acked.get(sender_id, 0),
+        )
+        return sender_id
 
     async def _pump(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        sender_id: bytes,
     ) -> None:
-        """Validate, route and ack frames until EOF or the first bad one."""
+        """Validate, route and ack frames until EOF or the first bad one.
+
+        Duplicates (sequence number at or below the stream's watermark —
+        a sender replaying past a crash) are acknowledged without
+        folding; a gap above the watermark is a protocol violation and
+        closes the connection.
+        """
         while True:
             try:
-                frame = await read_frame(reader, self.max_frame_bytes)
+                framed = await read_frame(reader, self.max_frame_bytes)
             except WireFormatError as exc:
                 self.frames_rejected += 1
                 await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
                 return
-            if frame is None:
+            if framed is None:
                 return  # clean end of stream
+            seq, frame = framed
             if self._fold_error is not None:
                 # A dead shard must not keep collecting acks it cannot
                 # honour.
@@ -384,6 +584,23 @@ class CollectionGateway:
                     writer,
                     STATUS_TRANSPORT_ERROR,
                     "gateway aggregation failed: %s" % self._fold_error,
+                )
+                return
+            watermark = self._acked.get(sender_id, 0)
+            if seq <= watermark:
+                # Already folded (the sender replayed past our ack):
+                # re-acknowledge without touching aggregation state.
+                self.frames_deduped += 1
+                await self._reply(writer, STATUS_OK)
+                continue
+            if seq != watermark + 1:
+                self.frames_rejected += 1
+                await self._reply(
+                    writer,
+                    STATUS_WIRE_ERROR,
+                    "frame %d skips ahead of watermark %d for sender %s: "
+                    "sequence numbers must be contiguous"
+                    % (seq, watermark, sender_id.hex()),
                 )
                 return
             try:
@@ -401,15 +618,34 @@ class CollectionGateway:
                 return
             # Bounded queue: blocking here is the backpressure — the
             # socket is not read (and the sender not acked) until the
-            # target shard has room.
-            queue = self._queues[self._cursor % len(self._queues)]
-            self._cursor += 1
-            await queue.put((users, canonical))
-            self.frames_accepted += 1
-            self.users_accepted += users
-            self.bytes_received += len(frame)
-            if users == 0:
-                self.heartbeats += 1
+            # target shard has room. The intake barrier makes
+            # queue+watermark atomic with respect to checkpoint().
+            async with self._intake_lock:
+                queue = self._queues[self._cursor % len(self._queues)]
+                self._cursor += 1
+                await queue.put((users, canonical))
+                self._acked[sender_id] = seq
+                self.frames_accepted += 1
+                self._frames_since_checkpoint += 1
+                self.users_accepted += users
+                self.bytes_received += len(frame)
+                if users == 0:
+                    self.heartbeats += 1
+            if self._frame_checkpoint_due():
+                # Durable BEFORE the ack: once the sender hears OK, the
+                # frames that triggered this checkpoint survive SIGKILL.
+                try:
+                    await self.checkpoint()
+                except Exception as exc:
+                    if self._fold_error is None:
+                        self._fold_error = exc
+                    self.frames_rejected += 1
+                    await self._reply(
+                        writer,
+                        STATUS_TRANSPORT_ERROR,
+                        "gateway checkpoint failed: %s" % exc,
+                    )
+                    return
             if self._progress is not None:
                 self._progress.set()
             await self._reply(writer, STATUS_OK)
@@ -453,16 +689,27 @@ async def serve_collection(
     port: int = 0,
     queue_depth: int = 8,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    store: Optional[CheckpointStore] = None,
+    checkpoint_every_frames: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
 ) -> CollectionGateway:
     """Start a :class:`CollectionGateway` over ``server`` on ``host:port``.
 
     Returns the serving gateway; ``port=0`` binds an ephemeral port
-    (read it back from :attr:`CollectionGateway.port`). The caller owns
-    the round's lifecycle: typically ``await gateway.wait_for_users(n)``
-    (or any other completion signal), then ``await gateway.stop()`` and
-    read :meth:`~CollectionGateway.estimate`.
+    (read it back from :attr:`CollectionGateway.port`). With ``store``
+    the gateway resumes the newest intact round checkpoint before
+    binding and checkpoints per the ``checkpoint_every_*`` triggers. The
+    caller owns the round's lifecycle: typically
+    ``await gateway.wait_for_users(n)`` (or any other completion
+    signal), then ``await gateway.stop()`` and read
+    :meth:`~CollectionGateway.estimate`.
     """
     gateway = CollectionGateway(
-        server, queue_depth=queue_depth, max_frame_bytes=max_frame_bytes
+        server,
+        queue_depth=queue_depth,
+        max_frame_bytes=max_frame_bytes,
+        store=store,
+        checkpoint_every_frames=checkpoint_every_frames,
+        checkpoint_every_seconds=checkpoint_every_seconds,
     )
     return await gateway.start(host, port)

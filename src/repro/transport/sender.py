@@ -3,9 +3,9 @@
 :class:`AsyncReportSender` opens a connection to a collection gateway,
 performs the contract handshake (both sides compare fingerprints before
 any payload bytes flow), and then ships wire frames produced by
-:func:`~repro.wire.encode_batch` — one length-prefixed frame per report
-batch, each acknowledged by the gateway after it has been decoded,
-validated and handed to a shard consumer.
+:func:`~repro.wire.encode_batch` — one sequenced, length-prefixed frame
+per report batch, each acknowledged by the gateway after it has been
+decoded, validated and handed to a shard consumer.
 
 The per-frame acknowledgement is the client half of the backpressure
 loop: a gateway whose shard queues are full simply does not ack, so
@@ -14,12 +14,24 @@ aggregation tier's pace. Error statuses come back as the library's own
 exception types — :class:`~repro.exceptions.ContractMismatchError`,
 :class:`~repro.exceptions.WireFormatError`, or
 :class:`~repro.exceptions.TransportError` for transport-level failures.
+
+Resume: every sender carries a 16-byte *sender id* naming its logical
+report stream, and numbers its frames 1, 2, 3, … During the handshake a
+checkpointing gateway answers with the stream's *resume watermark* — the
+highest sequence number it already folded durably. Frames at or below
+the watermark are skipped locally (counted in
+:attr:`AsyncReportSender.frames_skipped`) instead of re-sent, so a
+sender that replays its whole round after a crash — its own or the
+gateway's — contributes every report exactly once.
+:func:`replay_frames` wraps the loop: connect, skip, send, and retry on
+transport failures until the round is through.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Union
+import os
+from typing import Optional, Sequence, Union
 
 from ..exceptions import ContractMismatchError, TransportError
 from ..session.client import ReportBatch
@@ -27,6 +39,8 @@ from ..wire.codec import encode_batch
 from ..wire.contract import CollectionContract
 from .framing import (
     HELLO,
+    HELLO_REPLY,
+    SENDER_ID_SIZE,
     TRANSPORT_MAGIC,
     TRANSPORT_VERSION,
     raise_for_status,
@@ -51,6 +65,18 @@ def _as_contract(contract: ContractLike) -> CollectionContract:
     )
 
 
+def _as_sender_id(sender_id: Optional[bytes]) -> bytes:
+    if sender_id is None:
+        return os.urandom(SENDER_ID_SIZE)
+    if not isinstance(sender_id, (bytes, bytearray)) or len(
+        sender_id
+    ) != SENDER_ID_SIZE:
+        raise TransportError(
+            "a sender id is %d raw bytes, got %r" % (SENDER_ID_SIZE, sender_id)
+        )
+    return bytes(sender_id)
+
+
 class AsyncReportSender:
     """One open, handshaken connection to a collection gateway.
 
@@ -59,6 +85,10 @@ class AsyncReportSender:
 
         async with await AsyncReportSender.connect(host, port, client) as s:
             await s.send(batch)
+
+    A fresh random sender id is drawn per :meth:`connect` unless one is
+    given — pass the same id across reconnects to make the gateway
+    treat them as one resumable stream.
     """
 
     def __init__(
@@ -66,17 +96,29 @@ class AsyncReportSender:
         contract: CollectionContract,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        sender_id: bytes,
+        resume_seq: int,
     ) -> None:
         self.contract = contract
+        self.sender_id = sender_id
+        #: Highest sequence number the gateway already holds durably for
+        #: this stream; sends at or below it are skipped, not shipped.
+        self.resume_seq = resume_seq
         self._reader = reader
         self._writer = writer
         self._closed = False
+        self._next_seq = 1
         self.frames_sent = 0
+        self.frames_skipped = 0
         self.bytes_sent = 0
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, contract: ContractLike
+        cls,
+        host: str,
+        port: int,
+        contract: ContractLike,
+        sender_id: Optional[bytes] = None,
     ) -> "AsyncReportSender":
         """Open a connection and perform the contract handshake.
 
@@ -86,15 +128,18 @@ class AsyncReportSender:
         the peer is not a collection gateway at all.
         """
         agreed = _as_contract(contract)
+        stream_id = _as_sender_id(sender_id)
         reader, writer = await asyncio.open_connection(host, port)
         try:
             writer.write(
-                HELLO.pack(TRANSPORT_MAGIC, TRANSPORT_VERSION, agreed.digest)
+                HELLO.pack(
+                    TRANSPORT_MAGIC, TRANSPORT_VERSION, agreed.digest, stream_id
+                )
             )
             await writer.drain()
             try:
-                magic, version, digest = HELLO.unpack(
-                    await reader.readexactly(HELLO.size)
+                magic, version, digest, resume_seq = HELLO_REPLY.unpack(
+                    await reader.readexactly(HELLO_REPLY.size)
                 )
             except (asyncio.IncompleteReadError, ConnectionError) as exc:
                 raise TransportError(
@@ -123,19 +168,28 @@ class AsyncReportSender:
         except BaseException:
             writer.close()
             raise
-        return cls(agreed, reader, writer)
+        return cls(agreed, reader, writer, stream_id, resume_seq)
 
     # --------------------------------------------------------------- sending
 
     async def send_encoded(self, frame: bytes) -> None:
         """Ship one pre-encoded wire frame and wait for its ack.
 
-        The ack only arrives once the gateway has validated the frame
-        and found queue room for it — this await *is* the backpressure.
+        The frame takes the stream's next sequence number. If that
+        number is at or below the gateway's resume watermark the frame
+        is already durable server-side — it is skipped locally (counted
+        in :attr:`frames_skipped`) and no bytes go out. Otherwise the
+        ack only arrives once the gateway has validated the frame and
+        found queue room for it — this await *is* the backpressure.
         """
         if self._closed:
             raise TransportError("sender is closed")
-        write_frame(self._writer, frame)
+        seq = self._next_seq
+        self._next_seq += 1
+        if seq <= self.resume_seq:
+            self.frames_skipped += 1
+            return
+        write_frame(self._writer, seq, frame)
         try:
             await self._writer.drain()
         except ConnectionError as exc:
@@ -190,4 +244,54 @@ class AsyncReportSender:
         await self.close()
 
 
-__all__ = ["AsyncReportSender"]
+async def replay_frames(
+    host: str,
+    port: int,
+    contract: ContractLike,
+    frames: Sequence[bytes],
+    sender_id: bytes,
+    attempts: int = 1,
+    retry_delay: float = 0.5,
+) -> "AsyncReportSender":
+    """Deliver a whole round of encoded frames exactly once, with retries.
+
+    Connects under ``sender_id``, skips every frame the gateway already
+    holds durably (its resume watermark), ships the rest, and half-closes.
+    On a *transport* failure — connection refused or dropped, gateway
+    restarting — it waits ``retry_delay`` seconds and reconnects, up to
+    ``attempts`` total; each reconnect re-learns the watermark, so no
+    frame is ever contributed twice. Typed rejections
+    (:class:`~repro.exceptions.ContractMismatchError`,
+    :class:`~repro.exceptions.WireFormatError`) are never retried — a
+    frame the gateway refused once will be refused again.
+
+    Returns the final (closed) sender, whose counters describe the last
+    successful pass.
+    """
+    if int(attempts) < 1:
+        raise TransportError("attempts must be >= 1, got %r" % (attempts,))
+    frames = list(frames)
+    last_error: Optional[BaseException] = None
+    for attempt in range(int(attempts)):
+        if attempt:
+            await asyncio.sleep(retry_delay)
+        try:
+            sender = await AsyncReportSender.connect(
+                host, port, contract, sender_id=sender_id
+            )
+        except (TransportError, ConnectionError, OSError) as exc:
+            last_error = exc
+            continue
+        try:
+            async with sender:
+                for frame in frames:
+                    await sender.send_encoded(frame)
+            return sender
+        except (TransportError, ConnectionError, OSError) as exc:
+            last_error = exc
+    raise TransportError(
+        "round not delivered after %d attempt(s): %s" % (attempts, last_error)
+    ) from last_error
+
+
+__all__ = ["AsyncReportSender", "replay_frames"]

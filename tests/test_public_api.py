@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.mechanisms",
     "repro.protocol",
     "repro.session",
+    "repro.storage",
     "repro.transport",
     "repro.wire",
 ]

@@ -41,7 +41,7 @@ from repro.transport import (
     CollectionGateway,
     serve_collection,
 )
-from repro.transport.framing import HELLO, read_status
+from repro.transport.framing import HELLO, HELLO_REPLY, SENDER_ID_SIZE, read_status
 
 SCHEMA = Schema(
     [
@@ -133,8 +133,8 @@ class TestHandshake:
             )
             writer.write(b"X" * HELLO.size)
             await writer.drain()
-            magic, version, digest = HELLO.unpack(
-                await reader.readexactly(HELLO.size)
+            magic, version, digest, resume = HELLO_REPLY.unpack(
+                await reader.readexactly(HELLO_REPLY.size)
             )
             status, message = await read_status(reader)
             writer.close()
@@ -153,9 +153,16 @@ class TestHandshake:
             reader, writer = await asyncio.open_connection(
                 "127.0.0.1", gateway.port
             )
-            writer.write(HELLO.pack(TRANSPORT_MAGIC, 99, _contract().digest))
+            writer.write(
+                HELLO.pack(
+                    TRANSPORT_MAGIC,
+                    99,
+                    _contract().digest,
+                    b"\x01" * SENDER_ID_SIZE,
+                )
+            )
             await writer.drain()
-            await reader.readexactly(HELLO.size)
+            await reader.readexactly(HELLO_REPLY.size)
             status, message = await read_status(reader)
             writer.close()
             rejected = gateway.handshakes_rejected
