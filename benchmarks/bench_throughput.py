@@ -25,6 +25,11 @@ honest. Two families:
   MB/second per backend land in the same JSON record under
   ``"checkpoint"`` — the cost of ``--checkpoint-every 1`` durability is
   a number, not a guess.
+
+The socket bench also runs one *instrumented* round and records the
+gateway's telemetry snapshot (queue-depth occupancy, backpressure
+stalls, ack/fold latency means) under ``"telemetry"``, so saturation
+numbers ride the performance trajectory alongside the throughput.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.storage import (
     open_store,
     round_checkpoint_document,
 )
+from repro.telemetry import MetricsRegistry
 from repro.transport import AsyncReportSender, serve_collection
 from bench_config import BENCH_SEED
 
@@ -125,6 +131,7 @@ def _record_wire_result(
         "results": "wire_sharded_ingest",
         "socket": "socket_ingest",
         "checkpoint": "checkpoint_store",
+        "telemetry": "socket_round_telemetry",
     }
     document["workload"] = workload
     document.setdefault(section, {})[str(key)] = payload
@@ -183,7 +190,7 @@ def test_socket_ingest_throughput(benchmark, results_dir):
     total_reports = WIRE_USERS * schema.dimensions
     total_bytes = sum(len(frame) for frame in frames)
 
-    def socket_round():
+    def socket_round(metrics=None):
         async def run():
             server = ShardedServer(
                 schema,
@@ -192,7 +199,11 @@ def test_socket_ingest_throughput(benchmark, results_dir):
                 shards=SOCKET_SHARDS,
             )
             gateway = await serve_collection(
-                server, "127.0.0.1", 0, queue_depth=SOCKET_QUEUE_DEPTH
+                server,
+                "127.0.0.1",
+                0,
+                queue_depth=SOCKET_QUEUE_DEPTH,
+                metrics=metrics,
             )
             contract = server.contract
 
@@ -208,12 +219,12 @@ def test_socket_ingest_throughput(benchmark, results_dir):
                 *(one_client(own) for own in per_client)
             )
             await gateway.stop()
-            return gateway.estimate()
+            return gateway
 
         return asyncio.run(run())
 
-    estimate = benchmark(socket_round)
-    assert estimate.users == WIRE_USERS
+    gateway = benchmark(socket_round)
+    assert gateway.estimate().users == WIRE_USERS
     seconds = benchmark.stats.stats.mean
     throughput = total_reports / seconds
     assert throughput > MIN_SOCKET_THROUGHPUT, (
@@ -231,6 +242,41 @@ def test_socket_ingest_throughput(benchmark, results_dir):
             "reports_per_second": throughput,
         },
         section="socket",
+    )
+
+    # One more round, instrumented: queue-depth occupancy, backpressure
+    # stalls and latency distributions ride the perf record, so a future
+    # regression comes with the saturation numbers attached.
+    snapshot = socket_round(MetricsRegistry()).stats_snapshot()
+    counters = snapshot["counters"]
+    assert counters["frames_accepted"] == len(frames)
+    assert counters["rejections_total"] == 0
+    families = snapshot["metrics"]
+    queues = families["gateway_queue_depth"]["values"]
+    ack = families["gateway_ack_latency_seconds"]["values"][""]
+    fold = families["gateway_fold_seconds"]["values"][""]
+    _record_wire_result(
+        results_dir,
+        SOCKET_SHARDS,
+        {
+            "counters": counters,
+            "queue_depth_time_weighted_mean": {
+                labels: round(value["time_weighted_mean"], 6)
+                for labels, value in sorted(queues.items())
+            },
+            "queue_depth_max": {
+                labels: value["max"] for labels, value in sorted(queues.items())
+            },
+            "ack_latency_seconds_mean": ack["mean"],
+            "fold_seconds_mean": fold["mean"],
+            "backpressure_stalls": families[
+                "gateway_backpressure_stalls_total"
+            ]["values"][""],
+            "backpressure_stall_seconds": families[
+                "gateway_backpressure_stall_seconds_total"
+            ]["values"][""],
+        },
+        section="telemetry",
     )
 
 

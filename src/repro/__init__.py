@@ -75,6 +75,7 @@ from .exceptions import (
     PrivacyBudgetError,
     ReproError,
     StorageError,
+    TelemetryError,
     TransportError,
     WireFormatError,
 )
@@ -147,9 +148,18 @@ from .storage import (
     SqliteStore,
     open_store,
 )
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedGauge,
+    enable_json_logs,
+)
 from .transport import (
     AsyncReportSender,
     CollectionGateway,
+    request_stats,
     serve_collection,
 )
 from .wire import (
@@ -187,6 +197,7 @@ __all__ = [
     "CollectionGateway",
     "CollectionProtocol",
     "ContractMismatchError",
+    "Counter",
     "DeviationModel",
     "DimensionError",
     "DistributionError",
@@ -195,7 +206,9 @@ __all__ = [
     "FrequencyEstimationPipeline",
     "FrequencyEstimator",
     "FrequencyOracle",
+    "Gauge",
     "GeneralizedRandomizedResponse",
+    "Histogram",
     "HybridMechanism",
     "JsonFileStore",
     "LDPClient",
@@ -203,6 +216,7 @@ __all__ = [
     "LaplaceMechanism",
     "MeanEstimationPipeline",
     "Mechanism",
+    "MetricsRegistry",
     "MultivariateDeviationModel",
     "NumericAttribute",
     "OptimizedLocalHashing",
@@ -222,6 +236,8 @@ __all__ = [
     "SquareWaveMechanism",
     "StaircaseMechanism",
     "StorageError",
+    "TelemetryError",
+    "TimeWeightedGauge",
     "TransportError",
     "UtilityReport",
     "ValueDistribution",
@@ -238,6 +254,7 @@ __all__ = [
     "convergence_curve",
     "cov19_like",
     "decode_batch",
+    "enable_json_logs",
     "encode_batch",
     "gaussian_dataset",
     "gaussian_fit",
@@ -256,6 +273,7 @@ __all__ = [
     "recalibrate_l2",
     "register_mechanism",
     "register_protocol",
+    "request_stats",
     "serve_collection",
     "true_mean",
     "uniform_dataset",

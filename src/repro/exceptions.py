@@ -82,6 +82,18 @@ class CheckpointCorruptError(StorageError, WireFormatError):
     """
 
 
+class TelemetryError(ReproError, ValueError):
+    """Raised when the metrics registry is used inconsistently.
+
+    Covers re-registering a metric name under a different type or label
+    set, decrementing a counter, and label-value sets that disagree with
+    the family's declared label names. Observability must never change
+    the behaviour of the instrumented code, so these are raised only for
+    structural misuse at registration/lookup time — recording values on
+    a well-formed instrument never raises.
+    """
+
+
 class TransportError(ReproError, RuntimeError):
     """Raised when the socket transport itself fails.
 

@@ -169,6 +169,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve mode: write the bound port to PATH once listening",
     )
+    collection.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="socket modes: write the telemetry snapshot (counters, "
+        "histograms, time-weighted queue gauges) to PATH as JSON on "
+        "exit — the serve-mode document matches what the live STATS "
+        "socket request returns",
+    )
+    collection.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON events (one object per line, on "
+        "stderr): handshakes, frame accept/reject, folds, checkpoint "
+        "cuts, sender retries, recovery replays",
+    )
     return parser
 
 
@@ -247,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_oneshot_reference,
         )
 
+        if args.log_json:
+            from ..telemetry import enable_json_logs
+
+            enable_json_logs()
+
         # The socket modes and the in-process experiment take disjoint
         # flags; a flag the selected mode would ignore is a misuse the
         # user must hear about, not a silent no-op.
@@ -305,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     ("--port-file", args.port_file),
                     ("--checkpoint-every", args.checkpoint_every),
                     ("--retry", args.retry),
+                    ("--metrics", args.metrics),
                 ]
                 if value is not None
             ]
@@ -338,6 +360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     port_file=args.port_file,
                     checkpoint=args.checkpoint,
                     checkpoint_every=args.checkpoint_every,
+                    metrics_path=args.metrics,
                 )
             )
         elif args.connect:
@@ -348,11 +371,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     users=users,
                     batches=batches,
                     retry=args.retry if args.retry is not None else 1,
+                    metrics_path=args.metrics,
                 )
             )
         elif args.oneshot:
             seeds = [int(part) for part in args.oneshot.split(",") if part]
-            print(run_oneshot_reference(seeds, users=users, batches=batches))
+            print(
+                run_oneshot_reference(
+                    seeds,
+                    users=users,
+                    batches=batches,
+                    metrics_path=args.metrics,
+                )
+            )
         else:
             kwargs = {}
             if quick:

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import pathlib
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from ..session import (
     ShardedServer,
 )
 from ..storage import open_store
+from ..telemetry import MetricsRegistry
 from ..transport import replay_frames, serve_collection
 from ..transport.framing import SENDER_ID_SIZE
 from ..wire.codec import encode_batch
@@ -106,6 +108,25 @@ def format_round_estimate(estimate: SessionEstimate) -> str:
     return "\n".join(lines)
 
 
+def write_metrics_snapshot(
+    path: Union[str, pathlib.Path],
+    mode: str,
+    counters: Dict[str, Any],
+    registry: MetricsRegistry,
+) -> None:
+    """Write one ``--metrics`` snapshot document as JSON.
+
+    The document shape is shared by all three socket modes: ``mode``
+    names which side wrote it, ``counters`` are that side's plain
+    authoritative integers, and ``metrics`` is the full registry
+    snapshot (histograms, time-weighted gauges, labelled families).
+    """
+    document = {"mode": mode, "counters": counters, "metrics": registry.snapshot()}
+    pathlib.Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def parse_endpoint(text: str) -> Tuple[str, int]:
     """Split ``HOST:PORT`` (port may be 0 to bind an ephemeral port)."""
     host, sep, port = text.rpartition(":")
@@ -122,6 +143,7 @@ def run_collection_gateway(
     port_file: Optional[Union[str, pathlib.Path]] = None,
     checkpoint: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
+    metrics_path: Optional[Union[str, pathlib.Path]] = None,
 ) -> str:
     """Serve one socket round and return the formatted merged estimate.
 
@@ -138,6 +160,11 @@ def run_collection_gateway(
     intact checkpoint on start, so a killed-and-restarted gateway
     finishes the round with estimates bit-identical to an uninterrupted
     one.
+
+    ``metrics_path`` writes the gateway's telemetry snapshot (the same
+    document the live ``STATS`` socket request serves) as JSON on exit —
+    including the error exits, so a failed round still leaves its
+    counters behind for diagnosis.
     """
     host, port = parse_endpoint(endpoint)
     if checkpoint is not None and checkpoint_every is None:
@@ -151,6 +178,8 @@ def run_collection_gateway(
             shards=shards,
         )
         store = open_store(checkpoint) if checkpoint is not None else None
+        registry = MetricsRegistry()
+        gateway = None
         try:
             gateway = await serve_collection(
                 server,
@@ -159,6 +188,7 @@ def run_collection_gateway(
                 queue_depth=queue_depth,
                 store=store,
                 checkpoint_every_frames=checkpoint_every,
+                metrics=registry,
             )
             try:
                 if port_file is not None:
@@ -173,6 +203,11 @@ def run_collection_gateway(
         finally:
             if store is not None:
                 store.close()
+            if metrics_path is not None and gateway is not None:
+                snapshot = gateway.stats_snapshot()
+                write_metrics_snapshot(
+                    metrics_path, "serve", snapshot["counters"], registry
+                )
 
     return asyncio.run(_serve())
 
@@ -183,6 +218,7 @@ def run_collection_sender(
     users: int = 4000,
     batches: int = 6,
     retry: int = 1,
+    metrics_path: Optional[Union[str, pathlib.Path]] = None,
 ) -> str:
     """Run one reporting client against a gateway; return a summary line.
 
@@ -204,6 +240,7 @@ def run_collection_sender(
         round_contract(),
     )
     stream = frames + [heartbeat]
+    registry = MetricsRegistry() if metrics_path is not None else None
 
     sender = asyncio.run(
         replay_frames(
@@ -214,8 +251,21 @@ def run_collection_sender(
             round_sender_id(seed),
             attempts=retry,
             retry_delay=0.5,
+            metrics=registry,
         )
     )
+    if registry is not None:
+        write_metrics_snapshot(
+            metrics_path,
+            "connect",
+            {
+                "frames_sent": sender.frames_sent,
+                "frames_skipped": sender.frames_skipped,
+                "bytes_sent": sender.bytes_sent,
+                "resume_seq": sender.resume_seq,
+            },
+            registry,
+        )
     # Skips cover a prefix of the stream (the gateway's watermark), so
     # the payload split is exact; the heartbeat is the final frame.
     payload_skipped = min(sender.frames_skipped, len(frames))
@@ -234,16 +284,32 @@ def run_collection_sender(
 
 
 def run_oneshot_reference(
-    seeds: Sequence[int], users: int = 4000, batches: int = 6
+    seeds: Sequence[int],
+    users: int = 4000,
+    batches: int = 6,
+    metrics_path: Optional[Union[str, pathlib.Path]] = None,
 ) -> str:
     """In-process ingestion of the same frames, same output format.
 
     ``diff`` against a gateway's output asserts that the socket path —
     concurrent clients, sharded consumers, backpressure stalls and all —
-    changed the estimate by exactly nothing.
+    changed the estimate by exactly nothing. With ``metrics_path`` the
+    server is instrumented (decode timing, fold counters) and the
+    snapshot written on exit — telemetry never changes the estimate, so
+    the diff stays empty either way.
     """
     server = LDPServer(round_schema(), ROUND_EPSILON, protocols=ROUND_PROTOCOLS)
+    registry = MetricsRegistry() if metrics_path is not None else None
+    if registry is not None:
+        server.attach_telemetry(registry)
     for seed in seeds:
         for frame in round_frames(seed, users, batches):
             server.ingest_encoded(frame)
+    if registry is not None:
+        write_metrics_snapshot(
+            metrics_path,
+            "oneshot",
+            {"users_folded": server.users},
+            registry,
+        )
     return format_round_estimate(server.estimate())

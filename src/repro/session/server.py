@@ -187,6 +187,42 @@ class LDPServer:
             for name, collector in self.collectors.items()
         }
         self._users = 0
+        # Observability is opt-in: the fold hot path pays one None check
+        # until attach_telemetry() is called.
+        self.telemetry = None
+
+    def attach_telemetry(self, metrics) -> "LDPServer":
+        """Instrument this server against a telemetry registry.
+
+        Registers batch/user fold counters, a wire-decode latency
+        histogram and a decoded-bytes counter in ``metrics`` (a
+        :class:`~repro.telemetry.MetricsRegistry`; registration is
+        idempotent, so many servers can share one registry). Returns
+        ``self`` for chaining. Telemetry never alters aggregation —
+        estimates with and without it are bit-identical.
+        """
+        self.telemetry = metrics
+        self._m_batches_folded = metrics.counter(
+            "server_batches_folded_total",
+            "Report batches folded into aggregation state",
+        )
+        self._m_users_folded = metrics.counter(
+            "server_users_folded_total",
+            "Users folded into aggregation state",
+        )
+        self._m_decode_seconds = metrics.histogram(
+            "server_decode_seconds",
+            "Wire-frame decode + contract check in ingest_encoded()",
+        )
+        self._m_bytes_decoded = metrics.counter(
+            "server_bytes_decoded_total",
+            "Wire-frame bytes decoded by ingest_encoded()",
+        )
+        self._m_merges = metrics.counter(
+            "server_merges_total",
+            "Peer server states merged into this one",
+        )
+        return self
 
     # -------------------------------------------------------------- ingest
 
@@ -248,6 +284,9 @@ class LDPServer:
         for name, payload in canonical.items():
             self.collectors[name].fold(self._states[name], payload)
         self._users += users
+        if self.telemetry is not None:
+            self._m_batches_folded.inc()
+            self._m_users_folded.inc(users)
 
     def ingest(
         self, reports: Union[ReportBatch, Iterable[ReportBatch]]
@@ -279,7 +318,13 @@ class LDPServer:
         bytes raise :class:`~repro.exceptions.WireFormatError`, in both
         cases before any state is touched.
         """
-        return self.ingest(decode_batch(data, contract=self.contract))
+        if self.telemetry is None:
+            return self.ingest(decode_batch(data, contract=self.contract))
+        started = self.telemetry.clock()
+        batch = decode_batch(data, contract=self.contract)
+        self._m_decode_seconds.observe(self.telemetry.clock() - started)
+        self._m_bytes_decoded.inc(len(data))
+        return self.ingest(batch)
 
     def merge(self, other: "LDPServer") -> "LDPServer":
         """Fold another server's accumulated state into this one.
@@ -298,6 +343,8 @@ class LDPServer:
         for name, collector in self.collectors.items():
             collector.merge_states(self._states[name], other._states[name])
         self._users += other._users
+        if self.telemetry is not None:
+            self._m_merges.inc()
         return self
 
     def reset(self) -> None:

@@ -68,6 +68,18 @@ class ShardedServer:
             for _ in range(count)
         )
         self._cursor = 0
+        self.telemetry = None
+
+    def attach_telemetry(self, metrics) -> "ShardedServer":
+        """Instrument every shard against one shared telemetry registry.
+
+        Shards register their instruments idempotently, so the fold
+        counters aggregate across the whole topology. Returns ``self``.
+        """
+        self.telemetry = metrics
+        for shard in self.shards:
+            shard.attach_telemetry(metrics)
+        return self
 
     # ------------------------------------------------------------- routing
 
@@ -176,6 +188,8 @@ class ShardedServer:
     def _install_restored(self, restored: LDPServer) -> None:
         for shard in self.shards[1:]:
             shard.reset()
+        if self.telemetry is not None:
+            restored.attach_telemetry(self.telemetry)
         self.shards = (restored,) + self.shards[1:]
         self._cursor = 0
 

@@ -22,7 +22,10 @@ import time
 from typing import Any, Callable, Optional
 
 from ..exceptions import StorageError
+from ..telemetry import MetricsRegistry, emit, event_logger
 from .base import CheckpointStore
+
+_LOG = event_logger("auto_checkpointer")
 
 
 class AutoCheckpointer:
@@ -42,6 +45,10 @@ class AutoCheckpointer:
         (``> 0``), evaluated after each ingest.
     clock:
         Monotonic time source (injectable for tests).
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; when given,
+        checkpoint cuts are counted and timed (and the store is
+        instrumented too if it is not already).
 
     At least one trigger must be given.
     """
@@ -53,6 +60,7 @@ class AutoCheckpointer:
         every_frames: Optional[int] = None,
         every_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if every_frames is None and every_seconds is None:
             raise StorageError(
@@ -75,6 +83,18 @@ class AutoCheckpointer:
         self._frames_since_checkpoint = 0
         self._last_checkpoint_at = clock()
         self.checkpoints_written = 0
+        self.telemetry = metrics
+        if metrics is not None:
+            self._m_checkpoints = metrics.counter(
+                "auto_checkpoints_written_total",
+                "Snapshots persisted by the auto-checkpointer",
+            )
+            self._m_checkpoint_seconds = metrics.histogram(
+                "auto_checkpoint_seconds",
+                "state_dict() + store.save() per auto-checkpoint",
+            )
+            if store.telemetry is None:
+                store.attach_telemetry(metrics)
 
     # ------------------------------------------------------------- ingest
 
@@ -112,10 +132,23 @@ class AutoCheckpointer:
 
     def checkpoint(self) -> None:
         """Persist a snapshot now, unconditionally."""
+        frames = self._frames_since_checkpoint
+        started = self._clock()
         self.store.save(self.server.state_dict())
         self.checkpoints_written += 1
         self._frames_since_checkpoint = 0
         self._last_checkpoint_at = self._clock()
+        seconds = self._last_checkpoint_at - started
+        if self.telemetry is not None:
+            self._m_checkpoints.inc()
+            self._m_checkpoint_seconds.observe(seconds)
+        emit(
+            _LOG,
+            "checkpoint_cut",
+            trigger="auto",
+            frames=frames,
+            seconds=round(seconds, 6),
+        )
 
     def resume(self) -> bool:
         """Restore the newest intact checkpoint, if the store holds one.
@@ -129,4 +162,10 @@ class AutoCheckpointer:
         if document is None:
             return False
         self.server.load_state_dict(document)
+        emit(
+            _LOG,
+            "recovery_replayed",
+            users=getattr(self.server, "users", None),
+            store=self.store.location,
+        )
         return True

@@ -34,10 +34,14 @@ from __future__ import annotations
 
 import abc
 import json
+import logging
 import zlib
 from typing import Any, Dict, Mapping, Optional
 
 from ..exceptions import CheckpointCorruptError, StorageError
+from ..telemetry import MetricsRegistry, emit, event_logger
+
+_LOG = event_logger("storage")
 
 
 def encode_document(document: Mapping[str, Any]) -> bytes:
@@ -99,6 +103,73 @@ class CheckpointStore(abc.ABC):
 
     #: URI scheme this backend answers to (``file``/``sqlite``/``segments``).
     scheme: str = ""
+
+    #: Optional :class:`~repro.telemetry.MetricsRegistry`; ``None`` means
+    #: uninstrumented (the default — observability is strictly opt-in).
+    telemetry: Optional[MetricsRegistry] = None
+
+    def attach_telemetry(self, metrics: MetricsRegistry) -> "CheckpointStore":
+        """Instrument this store against ``metrics`` (idempotent).
+
+        Registers ``storage_save_seconds`` / ``storage_load_seconds`` /
+        ``storage_recover_seconds`` histograms,
+        ``storage_bytes_written_total`` and
+        ``storage_corrupt_records_skipped_total`` counters — all
+        labelled by ``backend`` (the store's scheme), so one registry
+        can carry several stores. Returns ``self`` for chaining.
+        """
+        self.telemetry = metrics
+        self._m_op_seconds = {
+            op: metrics.histogram(
+                "storage_%s_seconds" % op,
+                "Checkpoint store %s() latency" % op,
+                labels=("backend",),
+            ).labels(backend=self.scheme)
+            for op in ("save", "load", "recover")
+        }
+        self._m_bytes_written = metrics.counter(
+            "storage_bytes_written_total",
+            "Encoded checkpoint bytes handed to the backend",
+            labels=("backend",),
+        ).labels(backend=self.scheme)
+        self._m_corrupt_skipped = metrics.counter(
+            "storage_corrupt_records_skipped_total",
+            "Damaged records stepped past during recover()",
+            labels=("backend",),
+        ).labels(backend=self.scheme)
+        return self
+
+    def _observe_op(self, op: str, seconds: float) -> None:
+        """Record one timed store operation (no-op when uninstrumented)."""
+        if self.telemetry is not None:
+            self._m_op_seconds[op].observe(seconds)
+
+    def _observe_bytes(self, nbytes: int) -> None:
+        if self.telemetry is not None:
+            self._m_bytes_written.inc(nbytes)
+
+    def _observe_corrupt_skip(self, generation: Any) -> None:
+        """Count one damaged record skipped during :meth:`recover`."""
+        if self.telemetry is not None:
+            self._m_corrupt_skipped.inc()
+        emit(
+            _LOG,
+            "corrupt_skipped",
+            level=logging.WARNING,
+            backend=self.scheme,
+            generation=generation,
+        )
+
+    def _op_clock(self) -> float:
+        """The telemetry clock, or 0.0 when uninstrumented.
+
+        Backends bracket their operations with this so the timing source
+        matches the registry's (injectable) clock; with no registry the
+        subtraction still works and the result is discarded.
+        """
+        if self.telemetry is not None:
+            return self.telemetry.clock()
+        return 0.0
 
     @abc.abstractmethod
     def save(self, document: Mapping[str, Any]) -> None:

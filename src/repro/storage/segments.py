@@ -111,6 +111,7 @@ class SegmentLogStore(CheckpointStore):
     def save(self, document: Mapping[str, Any]) -> None:
         payload = encode_document(document)
         record = _pack_record(payload)
+        started = self._op_clock()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             target = self._writable_segment(len(record))
@@ -122,6 +123,8 @@ class SegmentLogStore(CheckpointStore):
             raise StorageError(
                 "segment-log append under %s failed: %s" % (self.directory, exc)
             ) from None
+        self._observe_op("save", self._op_clock() - started)
+        self._observe_bytes(len(record))
         self._saves_since_compaction += 1
         if self._saves_since_compaction >= self.compact_every:
             self.compact()
@@ -178,18 +181,24 @@ class SegmentLogStore(CheckpointStore):
         saw_corruption = False
         for path in self.segments():
             payload, corrupt = self._scan_segment(path, strict)
-            saw_corruption = saw_corruption or corrupt
+            if corrupt:
+                saw_corruption = True
+                self._observe_corrupt_skip(path.name)
             if payload is not None:
                 newest = payload
         return newest, saw_corruption
 
     def load(self) -> Optional[Dict[str, Any]]:
+        started = self._op_clock()
         payload, _ = self._newest_payload(strict=True)
         if payload is None:
             return None
-        return decode_document(payload, "segment log %s" % self.directory)
+        document = decode_document(payload, "segment log %s" % self.directory)
+        self._observe_op("load", self._op_clock() - started)
+        return document
 
     def recover(self) -> Optional[Dict[str, Any]]:
+        started = self._op_clock()
         payload, saw_corruption = self._newest_payload(strict=False)
         if payload is None:
             if saw_corruption:
@@ -198,7 +207,9 @@ class SegmentLogStore(CheckpointStore):
                     % self.directory
                 )
             return None
-        return decode_document(payload, "segment log %s" % self.directory)
+        document = decode_document(payload, "segment log %s" % self.directory)
+        self._observe_op("recover", self._op_clock() - started)
+        return document
 
     # ---------------------------------------------------------- compaction
 

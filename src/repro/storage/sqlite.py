@@ -94,6 +94,7 @@ class SqliteStore(CheckpointStore):
     def save(self, document: Mapping[str, Any]) -> None:
         blob = encode_document(document)
         crc = document_crc(blob)
+        started = self._op_clock()
         try:
             connection = self._connect()
             with connection:  # one transaction: insert + prune
@@ -111,6 +112,8 @@ class SqliteStore(CheckpointStore):
             raise StorageError(
                 "sqlite checkpoint save to %s failed: %s" % (self.path, exc)
             ) from None
+        self._observe_op("save", self._op_clock() - started)
+        self._observe_bytes(len(blob))
 
     def _rows(self):
         if not self.path.exists():
@@ -138,21 +141,28 @@ class SqliteStore(CheckpointStore):
         return decode_document(payload, source)
 
     def load(self) -> Optional[Dict[str, Any]]:
+        started = self._op_clock()
         rows = self._rows()
         if not rows:
             return None
         generation, crc, blob = rows[0]
-        return self._validate(generation, crc, blob)
+        document = self._validate(generation, crc, blob)
+        self._observe_op("load", self._op_clock() - started)
+        return document
 
     def recover(self) -> Optional[Dict[str, Any]]:
+        started = self._op_clock()
         rows = self._rows()
         if not rows:
             return None
         for generation, crc, blob in rows:
             try:
-                return self._validate(generation, crc, blob)
+                document = self._validate(generation, crc, blob)
             except CheckpointCorruptError:
+                self._observe_corrupt_skip(generation)
                 continue  # step back one generation
+            self._observe_op("recover", self._op_clock() - started)
+            return document
         raise CheckpointCorruptError(
             "%s holds %d checkpoint generation(s) but none is readable"
             % (self.path, len(rows))

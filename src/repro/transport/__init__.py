@@ -31,6 +31,7 @@ and even a mid-round crash-and-resume cannot move it by one ulp.
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     SENDER_ID_SIZE,
+    STATS_MAGIC,
     STATUS_CONTRACT_MISMATCH,
     STATUS_OK,
     STATUS_TRANSPORT_ERROR,
@@ -39,13 +40,14 @@ from .framing import (
     TRANSPORT_VERSION,
 )
 from .gateway import CollectionGateway, serve_collection
-from .sender import AsyncReportSender, replay_frames
+from .sender import AsyncReportSender, replay_frames, request_stats
 
 __all__ = [
     "AsyncReportSender",
     "CollectionGateway",
     "DEFAULT_MAX_FRAME_BYTES",
     "SENDER_ID_SIZE",
+    "STATS_MAGIC",
     "STATUS_CONTRACT_MISMATCH",
     "STATUS_OK",
     "STATUS_TRANSPORT_ERROR",
@@ -53,5 +55,6 @@ __all__ = [
     "TRANSPORT_MAGIC",
     "TRANSPORT_VERSION",
     "replay_frames",
+    "request_stats",
     "serve_collection",
 ]

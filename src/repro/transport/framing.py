@@ -58,6 +58,13 @@ from ..wire.contract import DIGEST_SIZE
 #: ``LDPW`` so a frame accidentally sent first is caught immediately).
 TRANSPORT_MAGIC = b"LDPT"
 
+#: Magic opening a ``STATS`` control request: a hello-sized message with
+#: this magic (digest and sender-id fields zeroed) asks the gateway for
+#: its live telemetry snapshot instead of opening a report stream. The
+#: gateway answers with a normal hello reply whose status message is the
+#: JSON snapshot, then closes.
+STATS_MAGIC = b"LDPS"
+
 #: Version of the socket transport (handshake + framing), independent of
 #: the wire codec version embedded in every payload frame. Version 2
 #: added sender ids, frame sequence numbers and the resume watermark.

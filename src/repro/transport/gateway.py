@@ -46,8 +46,10 @@ closed; the aggregation state is never touched by a bad frame.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import operator
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ..session.sharded import ShardedServer
 from ..session.server import LDPServer, Postprocessor, SessionEstimate
@@ -64,12 +66,15 @@ from ..storage import (
     parse_round_checkpoint,
     round_checkpoint_document,
 )
+from ..storage.base import encode_document
+from ..telemetry import MetricsRegistry, emit, event_logger
 from ..wire.codec import decode_batch
 from ..wire.contract import CollectionContract
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     HELLO,
     HELLO_REPLY,
+    STATS_MAGIC,
     STATUS_CONTRACT_MISMATCH,
     STATUS_OK,
     STATUS_TRANSPORT_ERROR,
@@ -110,6 +115,13 @@ class CollectionGateway:
     checkpoint_every_seconds:
         Checkpoint at least this often (in gateway-loop time) while
         frames are arriving.
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry` to instrument
+        against (one is created when omitted, so :meth:`stats_snapshot`
+        and the ``STATS`` socket request always work). The gateway also
+        attaches the registry to its checkpoint store and session
+        shards when they are not already instrumented, so one snapshot
+        covers the whole ingest path.
     """
 
     def __init__(
@@ -120,6 +132,7 @@ class CollectionGateway:
         store: Optional[CheckpointStore] = None,
         checkpoint_every_frames: Optional[int] = None,
         checkpoint_every_seconds: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         try:
             depth = operator.index(queue_depth)
@@ -204,6 +217,87 @@ class CollectionGateway:
         self.bytes_received = 0
         self.heartbeats = 0
         self.checkpoints_written = 0
+        # Telemetry: the plain counters above stay authoritative (and
+        # cheap); the registry mirrors them with labels/latencies for
+        # snapshots and the STATS request. One registry can be shared
+        # across the stack — instruments are registered idempotently.
+        self.telemetry = metrics if metrics is not None else MetricsRegistry()
+        self._clock = self.telemetry.clock
+        self._log = event_logger("gateway")
+        registry = self.telemetry
+        self._m_frames_accepted = registry.counter(
+            "gateway_frames_accepted_total",
+            "Frames validated, acknowledged and queued for folding",
+        )
+        self._m_frames_rejected = registry.counter(
+            "gateway_frames_rejected_total",
+            "Frames refused after the handshake, by reason",
+            labels=("reason",),
+        )
+        self._m_frames_deduped = registry.counter(
+            "gateway_frames_deduped_total",
+            "Replayed frames acknowledged without folding (resume dedup)",
+        )
+        self._m_handshakes_rejected = registry.counter(
+            "gateway_handshakes_rejected_total",
+            "Connections refused during the handshake, by reason",
+            labels=("reason",),
+        )
+        self._m_users_accepted = registry.counter(
+            "gateway_users_accepted_total",
+            "Users carried by accepted frames",
+        )
+        self._m_bytes_received = registry.counter(
+            "gateway_bytes_received_total",
+            "Payload bytes of accepted frames",
+        )
+        self._m_heartbeats = registry.counter(
+            "gateway_heartbeats_total",
+            "Zero-user liveness frames accepted",
+        )
+        self._m_queue_depth = registry.time_weighted_gauge(
+            "gateway_queue_depth",
+            "Per-shard queue depth; time_weighted_mean is the exact "
+            "average depth over the round",
+            labels=("shard",),
+        )
+        self._m_ack_latency = registry.histogram(
+            "gateway_ack_latency_seconds",
+            "Frame read to OK ack (validation, routing, backpressure, "
+            "and any triggered checkpoint)",
+        )
+        self._m_fold_seconds = registry.histogram(
+            "gateway_fold_seconds",
+            "Time folding one validated batch into its shard",
+        )
+        self._m_stall_seconds = registry.counter(
+            "gateway_backpressure_stall_seconds_total",
+            "Seconds connection readers spent blocked on full shard queues",
+        )
+        self._m_stalls = registry.counter(
+            "gateway_backpressure_stalls_total",
+            "Frame intakes that found their target shard queue full",
+        )
+        self._m_checkpoint_seconds = registry.histogram(
+            "gateway_checkpoint_seconds",
+            "Drain + snapshot + store.save per round checkpoint",
+        )
+        self._m_checkpoints = registry.counter(
+            "gateway_checkpoints_written_total",
+            "Round checkpoints persisted",
+        )
+        self._m_checkpoint_bytes = registry.counter(
+            "gateway_checkpoint_bytes_total",
+            "Encoded bytes of persisted round checkpoints",
+        )
+        self._m_stats_requests = registry.counter(
+            "gateway_stats_requests_total",
+            "STATS control requests served",
+        )
+        if store is not None and getattr(store, "telemetry", None) is None:
+            store.attach_telemetry(registry)
+        if getattr(server, "telemetry", None) is None:
+            server.attach_telemetry(registry)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -239,6 +333,15 @@ class CollectionGateway:
                 self.frames_accepted = frames
                 self.users_accepted = self.server.users
                 self._frames_since_checkpoint = 0
+                self._m_frames_accepted.inc(frames)
+                self._m_users_accepted.inc(self.users_accepted)
+                emit(
+                    self._log,
+                    "recovery_replayed",
+                    frames=frames,
+                    users=self.users_accepted,
+                    senders=len(self._acked),
+                )
         self._stopping = False
         self._progress = asyncio.Event()
         self._queues = [
@@ -348,14 +451,36 @@ class CollectionGateway:
         await self.stop(abort_connections=True)
 
     async def wait_for_users(self, count: int) -> None:
-        """Block until at least ``count`` users have been accepted."""
+        """Block until at least ``count`` users have been accepted.
+
+        Raises :class:`TransportError` if the gateway is poisoned by a
+        fold or checkpoint failure while waiting: a poisoned gateway
+        refuses every further frame, so the user count can never reach
+        ``count`` and waiting on would hang forever. :meth:`_poison`
+        sets the progress event precisely so this waiter wakes up to
+        notice.
+        """
         if self._progress is None:
             raise TransportError("gateway is not serving")
         while self.users_accepted < int(count):
+            self._check_folds()
             self._progress.clear()
             if self.users_accepted >= int(count):
                 break
             await self._progress.wait()
+
+    def _poison(self, exc: Exception) -> None:
+        """Record a fatal aggregation error and wake anyone waiting.
+
+        First error wins (later failures are usually its consequences).
+        The progress event is set so a :meth:`wait_for_users` caller
+        re-checks the fold state instead of sleeping forever on a round
+        that can no longer finish.
+        """
+        if self._fold_error is None:
+            self._fold_error = exc
+        if self._progress is not None:
+            self._progress.set()
 
     # ----------------------------------------------------------- checkpoints
 
@@ -370,6 +495,8 @@ class CollectionGateway:
         if self.store is None:
             raise StorageError("this gateway has no checkpoint store")
         async with self._intake_lock:
+            started = self._clock()
+            frames = self._frames_since_checkpoint
             await self.drain()
             self._check_folds()
             document = round_checkpoint_document(
@@ -378,6 +505,19 @@ class CollectionGateway:
             self.store.save(document)
             self.checkpoints_written += 1
             self._frames_since_checkpoint = 0
+            seconds = self._clock() - started
+            nbytes = len(encode_document(document))
+            self._m_checkpoints.inc()
+            self._m_checkpoint_bytes.inc(nbytes)
+            self._m_checkpoint_seconds.observe(seconds)
+            emit(
+                self._log,
+                "checkpoint_cut",
+                frames=frames,
+                users=self.server.users,
+                bytes=nbytes,
+                seconds=round(seconds, 6),
+            )
 
     async def _checkpoint_timer(self) -> None:
         """Time-triggered checkpoints (only when frames arrived since)."""
@@ -389,8 +529,14 @@ class CollectionGateway:
             try:
                 await self.checkpoint()
             except Exception as exc:  # poison: acks must stop flowing
-                if self._fold_error is None:
-                    self._fold_error = exc
+                emit(
+                    self._log,
+                    "checkpoint_failed",
+                    level=logging.ERROR,
+                    trigger="timer",
+                    error=str(exc),
+                )
+                self._poison(exc)
                 return
 
     def _frame_checkpoint_due(self) -> bool:
@@ -414,15 +560,35 @@ class CollectionGateway:
         """
         shard = self.server.shards[index]
         queue = self._queues[index]
+        depth = self._m_queue_depth.labels(shard=index)
         while True:
             users, canonical = await queue.get()
             try:
                 if self._fold_error is None:
+                    started = self._clock()
                     shard._fold_validated(users, canonical)
+                    seconds = self._clock() - started
+                    self._m_fold_seconds.observe(seconds)
+                    emit(
+                        self._log,
+                        "fold",
+                        level=logging.DEBUG,
+                        shard=index,
+                        users=users,
+                        seconds=round(seconds, 6),
+                    )
             except Exception as exc:
-                self._fold_error = exc
+                emit(
+                    self._log,
+                    "fold_failed",
+                    level=logging.ERROR,
+                    shard=index,
+                    error=str(exc),
+                )
+                self._poison(exc)
             finally:
                 queue.task_done()
+                depth.set(queue.qsize())
 
     # ----------------------------------------------------------- connections
 
@@ -501,8 +667,18 @@ class CollectionGateway:
             )
         except asyncio.IncompleteReadError:
             return None  # probe/scan connection: nothing to answer
+        if magic == STATS_MAGIC:
+            # Live introspection: a hello-sized control message asking
+            # for the telemetry snapshot instead of a report stream.
+            # Served before any contract check so an admin client needs
+            # no contract; not counted as a handshake rejection.
+            payload = json.dumps(self.stats_snapshot(), sort_keys=True)
+            self._m_stats_requests.inc()
+            emit(self._log, "stats_served", bytes=len(payload))
+            await self._reply(writer, STATUS_OK, payload, hello=True)
+            return None
         if magic != TRANSPORT_MAGIC:
-            self.handshakes_rejected += 1
+            self._reject_handshake("bad_magic")
             await self._reply(
                 writer,
                 STATUS_TRANSPORT_ERROR,
@@ -512,7 +688,7 @@ class CollectionGateway:
             )
             return None
         if version != TRANSPORT_VERSION:
-            self.handshakes_rejected += 1
+            self._reject_handshake("version")
             await self._reply(
                 writer,
                 STATUS_TRANSPORT_ERROR,
@@ -522,7 +698,7 @@ class CollectionGateway:
             )
             return None
         if digest != self.contract.digest:
-            self.handshakes_rejected += 1
+            self._reject_handshake("contract_mismatch")
             await self._reply(
                 writer,
                 STATUS_CONTRACT_MISMATCH,
@@ -534,7 +710,7 @@ class CollectionGateway:
             )
             return None
         if sender_id in self._active_senders:
-            self.handshakes_rejected += 1
+            self._reject_handshake("duplicate_sender")
             await self._reply(
                 writer,
                 STATUS_TRANSPORT_ERROR,
@@ -545,13 +721,25 @@ class CollectionGateway:
             )
             return None
         self._active_senders.add(sender_id)
-        await self._reply(
-            writer,
-            STATUS_OK,
-            hello=True,
-            resume=self._acked.get(sender_id, 0),
+        resume = self._acked.get(sender_id, 0)
+        emit(
+            self._log,
+            "handshake_accepted",
+            sender_id=sender_id.hex(),
+            resume_seq=resume,
         )
+        await self._reply(writer, STATUS_OK, hello=True, resume=resume)
         return sender_id
+
+    def _reject_handshake(self, reason: str) -> None:
+        self.handshakes_rejected += 1
+        self._m_handshakes_rejected.labels(reason=reason).inc()
+        emit(
+            self._log,
+            "handshake_rejected",
+            level=logging.WARNING,
+            reason=reason,
+        )
 
     async def _pump(
         self,
@@ -570,16 +758,17 @@ class CollectionGateway:
             try:
                 framed = await read_frame(reader, self.max_frame_bytes)
             except WireFormatError as exc:
-                self.frames_rejected += 1
+                self._reject_frame("wire", sender_id, exc)
                 await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
                 return
             if framed is None:
                 return  # clean end of stream
+            received_at = self._clock()
             seq, frame = framed
             if self._fold_error is not None:
                 # A dead shard must not keep collecting acks it cannot
                 # honour.
-                self.frames_rejected += 1
+                self._reject_frame("poisoned", sender_id, self._fold_error)
                 await self._reply(
                     writer,
                     STATUS_TRANSPORT_ERROR,
@@ -591,17 +780,24 @@ class CollectionGateway:
                 # Already folded (the sender replayed past our ack):
                 # re-acknowledge without touching aggregation state.
                 self.frames_deduped += 1
+                self._m_frames_deduped.inc()
+                emit(
+                    self._log,
+                    "frame_deduped",
+                    level=logging.DEBUG,
+                    sender_id=sender_id.hex(),
+                    seq=seq,
+                )
                 await self._reply(writer, STATUS_OK)
                 continue
             if seq != watermark + 1:
-                self.frames_rejected += 1
-                await self._reply(
-                    writer,
-                    STATUS_WIRE_ERROR,
+                exc = WireFormatError(
                     "frame %d skips ahead of watermark %d for sender %s: "
                     "sequence numbers must be contiguous"
-                    % (seq, watermark, sender_id.hex()),
+                    % (seq, watermark, sender_id.hex())
                 )
+                self._reject_frame("sequence_gap", sender_id, exc)
+                await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
                 return
             try:
                 batch = decode_batch(frame, contract=self.contract)
@@ -609,11 +805,11 @@ class CollectionGateway:
                 # shards; consumers fold without re-validating.
                 users, canonical = self.server.shards[0]._validate_batch(batch)
             except ContractMismatchError as exc:
-                self.frames_rejected += 1
+                self._reject_frame("contract_mismatch", sender_id, exc)
                 await self._reply(writer, STATUS_CONTRACT_MISMATCH, str(exc))
                 return
             except (WireFormatError, DimensionError, DomainError) as exc:
-                self.frames_rejected += 1
+                self._reject_frame("invalid", sender_id, exc)
                 await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
                 return
             # Bounded queue: blocking here is the backpressure — the
@@ -621,25 +817,54 @@ class CollectionGateway:
             # target shard has room. The intake barrier makes
             # queue+watermark atomic with respect to checkpoint().
             async with self._intake_lock:
-                queue = self._queues[self._cursor % len(self._queues)]
+                shard_index = self._cursor % len(self._queues)
+                queue = self._queues[shard_index]
                 self._cursor += 1
+                stalled = queue.full()
+                if stalled:
+                    self._m_stalls.inc()
+                    stall_started = self._clock()
                 await queue.put((users, canonical))
+                if stalled:
+                    self._m_stall_seconds.inc(self._clock() - stall_started)
+                self._m_queue_depth.labels(shard=shard_index).set(
+                    queue.qsize()
+                )
                 self._acked[sender_id] = seq
                 self.frames_accepted += 1
                 self._frames_since_checkpoint += 1
                 self.users_accepted += users
                 self.bytes_received += len(frame)
+                self._m_frames_accepted.inc()
+                self._m_users_accepted.inc(users)
+                self._m_bytes_received.inc(len(frame))
                 if users == 0:
                     self.heartbeats += 1
+                    self._m_heartbeats.inc()
+            emit(
+                self._log,
+                "frame_accepted",
+                level=logging.DEBUG,
+                sender_id=sender_id.hex(),
+                seq=seq,
+                users=users,
+                shard=shard_index,
+            )
             if self._frame_checkpoint_due():
                 # Durable BEFORE the ack: once the sender hears OK, the
                 # frames that triggered this checkpoint survive SIGKILL.
                 try:
                     await self.checkpoint()
                 except Exception as exc:
-                    if self._fold_error is None:
-                        self._fold_error = exc
-                    self.frames_rejected += 1
+                    emit(
+                        self._log,
+                        "checkpoint_failed",
+                        level=logging.ERROR,
+                        trigger="frames",
+                        error=str(exc),
+                    )
+                    self._poison(exc)
+                    self._reject_frame("checkpoint_failed", sender_id, exc)
                     await self._reply(
                         writer,
                         STATUS_TRANSPORT_ERROR,
@@ -648,7 +873,52 @@ class CollectionGateway:
                     return
             if self._progress is not None:
                 self._progress.set()
+            self._m_ack_latency.observe(self._clock() - received_at)
             await self._reply(writer, STATUS_OK)
+
+    def _reject_frame(
+        self, reason: str, sender_id: bytes, error: Exception
+    ) -> None:
+        self.frames_rejected += 1
+        self._m_frames_rejected.labels(reason=reason).inc()
+        emit(
+            self._log,
+            "frame_rejected",
+            level=logging.WARNING,
+            reason=reason,
+            sender_id=sender_id.hex(),
+            detail=str(error),
+        )
+
+    # ------------------------------------------------------------- telemetry
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The gateway's counters and full metric registry as a plain dict.
+
+        This is exactly what the ``STATS`` socket request serves (see
+        :func:`~repro.transport.request_stats`) and what the CLI's
+        ``--metrics PATH`` writes on exit. ``counters`` are the plain
+        authoritative integers; ``metrics`` is the registry snapshot
+        (histograms, time-weighted gauges, labelled families) and
+        ``rejections_total`` sums frame and handshake rejections so a
+        clean round is a single zero check.
+        """
+        counters = {
+            "frames_accepted": self.frames_accepted,
+            "frames_rejected": self.frames_rejected,
+            "frames_deduped": self.frames_deduped,
+            "handshakes_rejected": self.handshakes_rejected,
+            "rejections_total": self.frames_rejected + self.handshakes_rejected,
+            "users_accepted": self.users_accepted,
+            "users_folded": self.server.users,
+            "bytes_received": self.bytes_received,
+            "heartbeats": self.heartbeats,
+            "checkpoints_written": self.checkpoints_written,
+        }
+        return {
+            "counters": counters,
+            "metrics": self.telemetry.snapshot(),
+        }
 
     # -------------------------------------------------------------- results
 
@@ -692,6 +962,7 @@ async def serve_collection(
     store: Optional[CheckpointStore] = None,
     checkpoint_every_frames: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CollectionGateway:
     """Start a :class:`CollectionGateway` over ``server`` on ``host:port``.
 
@@ -711,5 +982,6 @@ async def serve_collection(
         store=store,
         checkpoint_every_frames=checkpoint_every_frames,
         checkpoint_every_seconds=checkpoint_every_seconds,
+        metrics=metrics,
     )
     return await gateway.start(host, port)

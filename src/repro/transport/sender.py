@@ -30,23 +30,30 @@ transport failures until the round is through.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import os
-from typing import Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import ContractMismatchError, TransportError
 from ..session.client import ReportBatch
+from ..telemetry import MetricsRegistry, emit, event_logger
 from ..wire.codec import encode_batch
-from ..wire.contract import CollectionContract
+from ..wire.contract import DIGEST_SIZE, CollectionContract
 from .framing import (
     HELLO,
     HELLO_REPLY,
     SENDER_ID_SIZE,
+    STATS_MAGIC,
+    STATUS_OK,
     TRANSPORT_MAGIC,
     TRANSPORT_VERSION,
     raise_for_status,
     read_status,
     write_frame,
 )
+
+_LOG = event_logger("sender")
 
 #: ``connect`` accepts a bare contract or anything carrying one (an
 #: :class:`~repro.session.LDPClient`, an :class:`~repro.session.LDPServer`).
@@ -98,6 +105,7 @@ class AsyncReportSender:
         writer: asyncio.StreamWriter,
         sender_id: bytes,
         resume_seq: int,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.contract = contract
         self.sender_id = sender_id
@@ -111,6 +119,21 @@ class AsyncReportSender:
         self.frames_sent = 0
         self.frames_skipped = 0
         self.bytes_sent = 0
+        self.telemetry = metrics
+        if metrics is not None:
+            self._m_frames_sent = metrics.counter(
+                "sender_frames_sent_total",
+                "Frames shipped and acknowledged by the gateway",
+            )
+            self._m_frames_skipped = metrics.counter(
+                "sender_frames_skipped_total",
+                "Frames skipped locally because the gateway already "
+                "holds them durably (resume watermark)",
+            )
+            self._m_bytes_sent = metrics.counter(
+                "sender_bytes_sent_total",
+                "Payload bytes of acknowledged frames",
+            )
 
     @classmethod
     async def connect(
@@ -119,6 +142,7 @@ class AsyncReportSender:
         port: int,
         contract: ContractLike,
         sender_id: Optional[bytes] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "AsyncReportSender":
         """Open a connection and perform the contract handshake.
 
@@ -168,7 +192,20 @@ class AsyncReportSender:
         except BaseException:
             writer.close()
             raise
-        return cls(agreed, reader, writer, stream_id, resume_seq)
+        if metrics is not None:
+            metrics.counter(
+                "sender_connects_total",
+                "Successful handshaken connections to a gateway",
+            ).inc()
+        emit(
+            _LOG,
+            "sender_connected",
+            sender_id=stream_id.hex(),
+            host=host,
+            port=port,
+            resume_seq=resume_seq,
+        )
+        return cls(agreed, reader, writer, stream_id, resume_seq, metrics)
 
     # --------------------------------------------------------------- sending
 
@@ -188,6 +225,8 @@ class AsyncReportSender:
         self._next_seq += 1
         if seq <= self.resume_seq:
             self.frames_skipped += 1
+            if self.telemetry is not None:
+                self._m_frames_skipped.inc()
             return
         write_frame(self._writer, seq, frame)
         try:
@@ -202,6 +241,9 @@ class AsyncReportSender:
             raise
         self.frames_sent += 1
         self.bytes_sent += len(frame)
+        if self.telemetry is not None:
+            self._m_frames_sent.inc()
+            self._m_bytes_sent.inc(len(frame))
 
     async def send(self, batch: ReportBatch) -> None:
         """Encode one batch under this sender's contract and ship it."""
@@ -252,6 +294,7 @@ async def replay_frames(
     sender_id: bytes,
     attempts: int = 1,
     retry_delay: float = 0.5,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> "AsyncReportSender":
     """Deliver a whole round of encoded frames exactly once, with retries.
 
@@ -266,32 +309,127 @@ async def replay_frames(
     frame the gateway refused once will be refused again.
 
     Returns the final (closed) sender, whose counters describe the last
-    successful pass.
+    successful pass. When every attempt fails, the raised
+    :class:`~repro.exceptions.TransportError` enumerates each attempt
+    number with its error — all *distinct* failures across the round,
+    not just the last — so a round that bounced off two different
+    problems (say, connection refused, then a restart mid-stream) shows
+    both. Each failed attempt also emits a ``sender_retry`` event and,
+    with ``metrics``, counts into ``sender_retries_total``.
     """
     if int(attempts) < 1:
         raise TransportError("attempts must be >= 1, got %r" % (attempts,))
     frames = list(frames)
-    last_error: Optional[BaseException] = None
-    for attempt in range(int(attempts)):
-        if attempt:
+    failures: List[Tuple[int, BaseException]] = []
+    retries = (
+        None
+        if metrics is None
+        else metrics.counter(
+            "sender_retries_total",
+            "Delivery attempts that failed with a transport error",
+        )
+    )
+    total = int(attempts)
+    for attempt in range(1, total + 1):
+        if attempt > 1:
             await asyncio.sleep(retry_delay)
         try:
             sender = await AsyncReportSender.connect(
-                host, port, contract, sender_id=sender_id
+                host, port, contract, sender_id=sender_id, metrics=metrics
             )
-        except (TransportError, ConnectionError, OSError) as exc:
-            last_error = exc
-            continue
-        try:
             async with sender:
                 for frame in frames:
                     await sender.send_encoded(frame)
             return sender
         except (TransportError, ConnectionError, OSError) as exc:
-            last_error = exc
+            failures.append((attempt, exc))
+            if retries is not None:
+                retries.inc()
+            emit(
+                _LOG,
+                "sender_retry",
+                level=logging.WARNING,
+                attempt=attempt,
+                attempts=total,
+                error=str(exc),
+            )
+    # Every attempt failed. Report each distinct error with the attempts
+    # that produced it, in first-seen order, so intermediate failures
+    # are never swallowed by the final one.
+    distinct: Dict[str, List[int]] = {}
+    for attempt, exc in failures:
+        distinct.setdefault(str(exc), []).append(attempt)
+    detail = "; ".join(
+        "attempt%s %s: %s"
+        % (
+            "s" if len(attempt_numbers) > 1 else "",
+            ",".join(str(n) for n in attempt_numbers),
+            message,
+        )
+        for message, attempt_numbers in distinct.items()
+    )
     raise TransportError(
-        "round not delivered after %d attempt(s): %s" % (attempts, last_error)
-    ) from last_error
+        "round not delivered after %d attempt(s): %s" % (total, detail)
+    ) from failures[-1][1]
 
 
-__all__ = ["AsyncReportSender", "replay_frames"]
+async def request_stats(host: str, port: int) -> Dict[str, Any]:
+    """Fetch a gateway's live telemetry snapshot over its socket.
+
+    Sends a ``STATS`` control request — a hello-sized message opened by
+    :data:`~repro.transport.framing.STATS_MAGIC` with the digest and
+    sender-id fields zeroed — and returns the decoded snapshot dict
+    (the gateway's :meth:`~repro.transport.CollectionGateway.
+    stats_snapshot`: ``counters`` + ``metrics``). Needs no contract, so
+    any admin client can poll a round mid-flight.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            HELLO.pack(
+                STATS_MAGIC,
+                TRANSPORT_VERSION,
+                b"\0" * DIGEST_SIZE,
+                b"\0" * SENDER_ID_SIZE,
+            )
+        )
+        await writer.drain()
+        try:
+            magic, _, _, _ = HELLO_REPLY.unpack(
+                await reader.readexactly(HELLO_REPLY.size)
+            )
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            raise TransportError(
+                "gateway closed the connection during the stats request: %s"
+                % exc
+            ) from None
+        if magic != TRANSPORT_MAGIC:
+            raise TransportError(
+                "peer is not a collection gateway: bad hello magic %r"
+                % (magic,)
+            )
+        status, message = await read_status(reader)
+        raise_for_status(status, message)
+        if status != STATUS_OK:  # pragma: no cover - raise_for_status raised
+            raise TransportError("stats request refused (status %d)" % status)
+        try:
+            snapshot = json.loads(message)
+        except ValueError as exc:
+            raise TransportError(
+                "gateway stats reply is not valid JSON: %s" % exc
+            ) from None
+        if not isinstance(snapshot, dict):
+            raise TransportError(
+                "gateway stats reply is %s, expected an object"
+                % type(snapshot).__name__
+            )
+        return snapshot
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+__all__ = ["AsyncReportSender", "replay_frames", "request_stats"]

@@ -383,6 +383,121 @@ class TestDurability:
             )
 
 
+class TestCheckpointTimerEdges:
+    """Satellite: the gateway's timer trigger and the in-process
+    AutoCheckpointer, at their edges."""
+
+    def test_timer_checkpoint_failure_poisons_gateway_and_stops_acks(
+        self, tmp_path
+    ):
+        """A timer-cut checkpoint that fails must poison the whole
+        gateway — acks stop flowing (durability was promised and broken)
+        and waiters are woken with the error, not left hanging."""
+
+        class FlakyStore(JsonFileStore):
+            fail = False
+
+            def save(self, document):
+                if self.fail:
+                    raise StorageError("disk full")
+                super().save(document)
+
+        frames = _frames(12, batches=3)
+
+        async def scenario():
+            store = FlakyStore(tmp_path / "round.json")
+            gateway = await _gateway(
+                store=store, checkpoint_every_seconds=0.05
+            )
+            sender = await AsyncReportSender.connect(
+                "127.0.0.1", gateway.port, _contract(), sender_id=SENDER_ONE
+            )
+            async with sender:
+                await sender.send_encoded(frames[0])  # acked
+                store.fail = True
+                for _ in range(200):  # the next timer tick must fail
+                    if gateway._fold_error is not None:
+                        break
+                    await asyncio.sleep(0.02)
+                assert gateway._fold_error is not None
+                with pytest.raises(TransportError, match="aggregation"):
+                    await sender.send_encoded(frames[1])
+            with pytest.raises(TransportError, match="incomplete"):
+                await asyncio.wait_for(
+                    gateway.wait_for_users(1000), timeout=5
+                )
+            store.fail = False  # let stop() cut its final checkpoint
+            await gateway.stop()
+            snapshot = gateway.stats_snapshot()
+            store.close()
+            return snapshot
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["counters"]["frames_accepted"] == 1
+        rejected = snapshot["metrics"]["gateway_frames_rejected_total"]
+        assert rejected["values"].get("reason=poisoned") == 1.0
+
+    def test_auto_time_trigger_is_evaluated_on_ingest_not_idle(
+        self, tmp_path
+    ):
+        """The AutoCheckpointer's time trigger fires on the first frame
+        after the period elapsed — never while the server sits idle."""
+        from repro.storage import AutoCheckpointer
+
+        clock = _FakeClock()
+        server = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+        store = JsonFileStore(tmp_path / "auto.json")
+        auto = AutoCheckpointer(
+            server, store, every_seconds=5.0, clock=clock
+        )
+        clock.advance(100)  # long idle: zero new frames, zero writes
+        assert auto.checkpoints_written == 0
+        assert store.recover() is None
+        auto.ingest_encoded(_frames(13, users=30, batches=1)[0])
+        assert auto.checkpoints_written == 1
+        store.close()
+
+    def test_auto_checkpointer_telemetry_agrees_with_folds(self, tmp_path):
+        """Counters triangulate: auto checkpoints written == the plain
+        counter, and the instrumented server's fold totals match the
+        frames actually ingested."""
+        from repro.storage import AutoCheckpointer
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        server = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+        server.attach_telemetry(registry)
+        store = JsonFileStore(tmp_path / "auto.json")
+        auto = AutoCheckpointer(
+            server, store, every_frames=2, metrics=registry
+        )
+        frames = _frames(14, users=120, batches=4)
+        for frame in frames:
+            auto.ingest_encoded(frame)
+        assert auto.checkpoints_written == 2
+        shot = registry.snapshot()
+        assert shot["auto_checkpoints_written_total"]["values"][""] == 2.0
+        assert shot["auto_checkpoint_seconds"]["values"][""]["count"] == 2
+        assert shot["server_batches_folded_total"]["values"][""] == 4.0
+        assert shot["server_users_folded_total"]["values"][""] == 120.0
+        # the store was auto-instrumented into the same registry
+        saves = shot["storage_save_seconds"]["values"]["backend=file"]
+        assert saves["count"] == 2
+        assert server.users == 120
+        store.close()
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 class TestRestoreValidation:
     def test_foreign_contract_names_both_fingerprints(self, tmp_path):
         """Satellite: a mismatched checkpoint fails loudly, with both
@@ -490,6 +605,86 @@ class TestReplayRetry:
         assert sender.frames_skipped == 1
         assert sender.frames_sent == len(frames) - 1
         _assert_estimates_equal(estimate, _reference([frames]))
+
+    def test_exhausted_attempts_enumerate_every_attempt(self):
+        """Satellite: the final error names the attempt count and each
+        attempt number — not just the last failure."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        async def scenario():
+            with pytest.raises(TransportError) as excinfo:
+                await replay_frames(
+                    "127.0.0.1",
+                    dead_port,
+                    _contract(),
+                    _frames(11, batches=1),
+                    SENDER_ONE,
+                    attempts=3,
+                    retry_delay=0.01,
+                )
+            return str(excinfo.value)
+
+        message = asyncio.run(scenario())
+        assert "3 attempt(s)" in message
+        # all three refusals collapse into one distinct error, with
+        # every attempt number listed against it
+        assert "attempts 1,2,3" in message
+
+    def test_exhausted_attempts_report_all_distinct_errors(self):
+        """Satellite: a round that bounced off *different* problems
+        shows each of them, in first-seen order, with its attempts —
+        intermediate errors are not swallowed by the final one."""
+        from unittest import mock
+
+        from repro.telemetry import MetricsRegistry
+        from repro.transport.sender import AsyncReportSender as Sender
+
+        errors = [
+            TransportError("handshake refused: gateway is stopping"),
+            ConnectionRefusedError("connection refused"),
+            ConnectionRefusedError("connection refused"),
+        ]
+
+        async def failing_connect(*args, **kwargs):
+            raise errors.pop(0)
+
+        registry = MetricsRegistry()
+
+        async def scenario():
+            with mock.patch.object(
+                Sender, "connect", side_effect=failing_connect
+            ):
+                with pytest.raises(TransportError) as excinfo:
+                    await replay_frames(
+                        "127.0.0.1",
+                        1,
+                        _contract(),
+                        _frames(11, batches=1),
+                        SENDER_ONE,
+                        attempts=3,
+                        retry_delay=0.01,
+                        metrics=registry,
+                    )
+            return excinfo.value
+
+        error = asyncio.run(scenario())
+        message = str(error)
+        assert "3 attempt(s)" in message
+        assert "attempt 1: handshake refused: gateway is stopping" in message
+        assert "attempts 2,3: connection refused" in message
+        # first-seen order: the handshake refusal comes first
+        assert message.index("handshake refused") < message.index(
+            "connection refused"
+        )
+        # chained from the last underlying failure
+        assert isinstance(error.__cause__, ConnectionRefusedError)
+        shot = registry.snapshot()
+        assert shot["sender_retries_total"]["values"][""] == 3.0
 
     def test_typed_rejections_are_not_retried(self):
         async def scenario():

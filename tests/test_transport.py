@@ -466,6 +466,70 @@ class TestGatewayLifecycle:
 
         asyncio.run(scenario())
 
+    def test_wait_for_users_raises_when_poisoned_mid_wait(self):
+        """Satellite: a poisoned gateway used to leave wait_for_users
+        sleeping forever — the expected user count can never arrive once
+        every frame is refused, so the waiter must be woken and told."""
+
+        async def scenario():
+            gateway = await _gateway(shards=1)
+            shard = gateway.server.shards[0]
+            waiter = asyncio.ensure_future(gateway.wait_for_users(10_000))
+            await asyncio.sleep(0)  # the waiter is parked on the event
+
+            def broken_fold(users, canonical):
+                raise RuntimeError("allocation failed mid-fold")
+
+            sender = await AsyncReportSender.connect(
+                "127.0.0.1", gateway.port, _contract()
+            )
+            async with sender:
+                original = shard._fold_validated
+                shard._fold_validated = broken_fold
+                try:
+                    await sender.send_encoded(
+                        _frames(12, users=40, batches=1)[0]
+                    )
+                    # must raise promptly, not time out
+                    with pytest.raises(TransportError, match="incomplete"):
+                        await asyncio.wait_for(waiter, timeout=5)
+                finally:
+                    shard._fold_validated = original
+            await gateway.stop()
+
+        asyncio.run(scenario())
+
+    def test_wait_for_users_raises_when_already_poisoned(self):
+        """Entering the wait after the fold died must fail fast too."""
+
+        async def scenario():
+            gateway = await _gateway(shards=1)
+            shard = gateway.server.shards[0]
+
+            def broken_fold(users, canonical):
+                raise RuntimeError("allocation failed mid-fold")
+
+            sender = await AsyncReportSender.connect(
+                "127.0.0.1", gateway.port, _contract()
+            )
+            async with sender:
+                original = shard._fold_validated
+                shard._fold_validated = broken_fold
+                try:
+                    await sender.send_encoded(
+                        _frames(12, users=40, batches=1)[0]
+                    )
+                    await gateway.drain()
+                finally:
+                    shard._fold_validated = original
+            with pytest.raises(TransportError, match="incomplete"):
+                await asyncio.wait_for(
+                    gateway.wait_for_users(10_000), timeout=5
+                )
+            await gateway.stop()
+
+        asyncio.run(scenario())
+
     def test_failed_bind_leaves_no_consumers(self):
         """Regression: a busy port used to leak spawned shard consumers."""
 
