@@ -25,6 +25,13 @@ honest. Two families:
   MB/second per backend land in the same JSON record under
   ``"checkpoint"`` — the cost of ``--checkpoint-every 1`` durability is
   a number, not a guess.
+* **federation**: the upstream hop of the hierarchical tier — edges
+  push the workload's full cumulative state to a
+  :class:`~repro.federation.RootAggregator` over localhost TCP
+  (handshake, CRC-sealed encode, root-side validate + fold, merged
+  estimate). States/second and upstream MB/second land under
+  ``"federation"``, sizing how often ``--push-every`` can fire before
+  the push hop dominates the round.
 
 The socket bench also runs one *instrumented* round and records the
 gateway's telemetry snapshot (queue-depth occupancy, backpressure
@@ -41,6 +48,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.collection import mixed_schema
+from repro.federation import StatePusher, encode_state_push, serve_root
 from repro.mechanisms import available_mechanisms, get_mechanism
 from repro.session import LDPClient, ShardedServer
 from repro.storage import (
@@ -132,6 +140,7 @@ def _record_wire_result(
         "socket": "socket_ingest",
         "checkpoint": "checkpoint_store",
         "telemetry": "socket_round_telemetry",
+        "federation": "federation_state_push",
     }
     document["workload"] = workload
     document.setdefault(section, {})[str(key)] = payload
@@ -335,4 +344,74 @@ def test_checkpoint_store_throughput(benchmark, results_dir, tmp_path, backend):
             "mb_per_second": checkpoint_bytes / seconds / 1e6,
         },
         section="checkpoint",
+    )
+
+
+# --------------------------------------------------------------------------
+# Federation: edges push cumulative state upstream, root validates + folds
+# --------------------------------------------------------------------------
+
+FEDERATION_EDGES = 3
+#: Conservative floor (full state pushes/second across the topology):
+#: encode + CRC + TCP + root-side decode, validate-restore and fold of
+#: the whole workload's snapshot. An edge at ``--push-every N`` pays one
+#: of these per N accepted frames.
+MIN_PUSH_THROUGHPUT = 1.0
+
+
+def test_federation_push_throughput(benchmark, results_dir):
+    schema, client, batches = _wire_workload()
+    server = ShardedServer(
+        schema, EPSILON, protocols={"category": "oue"}, shards=SOCKET_SHARDS
+    )
+    for batch in batches:
+        server.ingest_encoded(client.encode(batch))
+    state = server.state_dict()
+    push_bytes = len(encode_state_push(state))
+
+    def federated_round():
+        async def run():
+            root = await serve_root(
+                schema, EPSILON, protocols={"category": "oue"}
+            )
+            contract = server.contract
+
+            async def one_edge(number):
+                pusher = await StatePusher.connect(
+                    "127.0.0.1", root.port, contract, bytes([number]) * 16
+                )
+                async with pusher:
+                    await pusher.push(state)
+
+            await asyncio.gather(
+                *(one_edge(n + 1) for n in range(FEDERATION_EDGES))
+            )
+            await root.stop()
+            return root
+
+        return asyncio.run(run())
+
+    root = benchmark(federated_round)
+    assert root.pushes_accepted == FEDERATION_EDGES
+    assert root.pushes_rejected == 0
+    # each edge pushed the same cumulative snapshot: the merge is additive
+    assert root.estimate().users == FEDERATION_EDGES * WIRE_USERS
+    seconds = benchmark.stats.stats.mean
+    states_per_second = FEDERATION_EDGES / seconds
+    assert states_per_second > MIN_PUSH_THROUGHPUT, (
+        "federation hop folds only %.2f state pushes/s" % states_per_second
+    )
+    _record_wire_result(
+        results_dir,
+        FEDERATION_EDGES,
+        {
+            "edges": FEDERATION_EDGES,
+            "push_bytes": push_bytes,
+            "seconds_mean": seconds,
+            "states_per_second": states_per_second,
+            "upstream_mb_per_second": (
+                FEDERATION_EDGES * push_bytes / seconds / 1e6
+            ),
+        },
+        section="federation",
     )

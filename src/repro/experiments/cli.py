@@ -136,6 +136,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process and print the estimate in --serve's format "
         "(diff asserts bit-identical aggregation)",
     )
+    socket_mode.add_argument(
+        "--root",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the root of a federated round: accept merged state "
+        "pushes from --edge aggregators and print the federated "
+        "estimate (in --serve's format) once --expect-users users are "
+        "covered",
+    )
+    socket_mode.add_argument(
+        "--edge",
+        metavar="UPSTREAM",
+        default=None,
+        help="run one edge aggregator: serve clients on --listen (a "
+        "full gateway, sharded per --shards), and push the merged "
+        "state upstream to the --root at UPSTREAM (HOST:PORT) every "
+        "--push-every accepted frames plus once at shutdown",
+    )
+    collection.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="edge mode: the local endpoint clients connect to "
+        "(default 127.0.0.1:0 — an ephemeral port, see --port-file)",
+    )
+    collection.add_argument(
+        "--push-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="edge mode: push the cumulative state upstream every N "
+        "accepted frames (default 2); the shutdown push always happens",
+    )
+    collection.add_argument(
+        "--edge-id",
+        type=int,
+        default=None,
+        metavar="N",
+        help="edge mode: deterministic edge identity — re-running the "
+        "same N resumes the same push stream at the root (default 0)",
+    )
+    collection.add_argument(
+        "--tls-cert",
+        metavar="PEM",
+        default=None,
+        help="serve/root/edge modes: serve the listening socket over "
+        "TLS with this certificate chain (requires --tls-key)",
+    )
+    collection.add_argument(
+        "--tls-key",
+        metavar="PEM",
+        default=None,
+        help="serve/root/edge modes: the private key of --tls-cert",
+    )
+    collection.add_argument(
+        "--tls-ca",
+        metavar="PEM",
+        default=None,
+        help="connect/edge modes: trust this CA bundle and speak TLS "
+        "on the outbound hop (to a --tls-cert gateway or root)",
+    )
     collection.add_argument(
         "--users",
         type=int,
@@ -260,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .socket_round import (
             run_collection_gateway,
             run_collection_sender,
+            run_federation_edge,
+            run_federation_root,
             run_oneshot_reference,
         )
 
@@ -271,50 +334,89 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The socket modes and the in-process experiment take disjoint
         # flags; a flag the selected mode would ignore is a misuse the
         # user must hear about, not a silent no-op.
-        socket_mode = args.serve or args.connect or args.oneshot
+        socket_mode = (
+            args.serve or args.connect or args.oneshot or args.root or args.edge
+        )
+        serving = args.serve or args.root or args.edge
         if socket_mode:
-            if args.checkpoint is not None and not args.serve:
+            if args.checkpoint is not None and not serving:
                 parser.error(
-                    "--checkpoint applies to --serve (the gateway owns "
-                    "the round's durable state) and the in-process "
-                    "collection experiment, not --connect/--oneshot"
+                    "--checkpoint applies to --serve/--root/--edge (the "
+                    "serving side owns the round's durable state) and "
+                    "the in-process collection experiment, not "
+                    "--connect/--oneshot"
                 )
             if quick:
                 parser.error(
                     "--quick only applies to the in-process collection "
-                    "experiment, not --serve/--connect/--oneshot"
+                    "experiment, not the socket modes"
                 )
-            if args.shards is not None and not args.serve:
+            if args.shards is not None and not (args.serve or args.edge):
                 parser.error(
-                    "--shards only applies to --serve (the gateway owns "
-                    "the shards) and the in-process experiment"
+                    "--shards only applies to --serve/--edge (the "
+                    "gateway owns the shards) and the in-process "
+                    "experiment"
                 )
             if args.seed is not None and not args.connect:
                 parser.error(
                     "--seed only applies to --connect (clients own their "
                     "rounds' seeds; --oneshot takes them as its argument)"
                 )
-            if args.batches is not None and args.serve:
+            if args.batches is not None and serving:
                 parser.error(
                     "--batches only applies to --connect/--oneshot (the "
-                    "gateway takes frames as they come)"
+                    "serving side takes frames as they come)"
                 )
-            if args.retry is not None and not args.connect:
+            if args.retry is not None and not (args.connect or args.edge):
                 parser.error(
-                    "--retry only applies to --connect (senders own the "
-                    "reconnect loop)"
+                    "--retry only applies to --connect and --edge (the "
+                    "side that dials out owns the reconnect loop)"
                 )
-            if not args.serve:
+            if not serving:
                 for name, value in [
                     ("--expect-users", args.expect_users),
-                    ("--queue-depth", args.queue_depth),
                     ("--port-file", args.port_file),
+                ]:
+                    if value is not None:
+                        parser.error(
+                            "%s only applies to --serve/--root/--edge"
+                            % name
+                        )
+            if not (args.serve or args.edge):
+                for name, value in [
+                    ("--queue-depth", args.queue_depth),
                     ("--checkpoint-every", args.checkpoint_every),
                 ]:
                     if value is not None:
-                        parser.error("%s only applies to --serve" % name)
+                        parser.error(
+                            "%s only applies to --serve/--edge" % name
+                        )
+            if not args.edge:
+                for name, value in [
+                    ("--listen", args.listen),
+                    ("--push-every", args.push_every),
+                    ("--edge-id", args.edge_id),
+                ]:
+                    if value is not None:
+                        parser.error("%s only applies to --edge" % name)
             if args.checkpoint_every is not None and args.checkpoint is None:
                 parser.error("--checkpoint-every requires --checkpoint")
+            if (args.tls_cert is None) != (args.tls_key is None):
+                parser.error(
+                    "--tls-cert and --tls-key go together (a TLS "
+                    "listener needs both halves of its identity)"
+                )
+            if args.tls_cert is not None and not serving:
+                parser.error(
+                    "--tls-cert/--tls-key only apply to "
+                    "--serve/--root/--edge (the listening side presents "
+                    "the certificate)"
+                )
+            if args.tls_ca is not None and not (args.connect or args.edge):
+                parser.error(
+                    "--tls-ca only applies to --connect and --edge (the "
+                    "side that dials out verifies the peer)"
+                )
         else:
             ignored = [
                 name
@@ -327,13 +429,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     ("--checkpoint-every", args.checkpoint_every),
                     ("--retry", args.retry),
                     ("--metrics", args.metrics),
+                    ("--listen", args.listen),
+                    ("--push-every", args.push_every),
+                    ("--edge-id", args.edge_id),
+                    ("--tls-cert", args.tls_cert),
+                    ("--tls-key", args.tls_key),
+                    ("--tls-ca", args.tls_ca),
                 ]
                 if value is not None
             ]
             if ignored:
                 parser.error(
                     "%s only appl%s to the socket modes "
-                    "(--serve/--connect/--oneshot)"
+                    "(--serve/--connect/--oneshot/--root/--edge)"
                     % (
                         ", ".join(ignored),
                         "ies" if len(ignored) == 1 else "y",
@@ -342,25 +450,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         users = args.users if args.users is not None else 4000
         batches = args.batches if args.batches is not None else 6
         shards = args.shards if args.shards is not None else 1
+        expect_users = (
+            args.expect_users if args.expect_users is not None else users
+        )
+        queue_depth = args.queue_depth if args.queue_depth is not None else 8
         if args.serve:
             print(
                 run_collection_gateway(
                     args.serve,
                     shards=shards,
-                    expect_users=(
-                        args.expect_users
-                        if args.expect_users is not None
-                        else users
+                    expect_users=expect_users,
+                    queue_depth=queue_depth,
+                    port_file=args.port_file,
+                    checkpoint=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    metrics_path=args.metrics,
+                    tls_cert=args.tls_cert,
+                    tls_key=args.tls_key,
+                )
+            )
+        elif args.root:
+            print(
+                run_federation_root(
+                    args.root,
+                    expect_users=expect_users,
+                    port_file=args.port_file,
+                    checkpoint=args.checkpoint,
+                    metrics_path=args.metrics,
+                    tls_cert=args.tls_cert,
+                    tls_key=args.tls_key,
+                )
+            )
+        elif args.edge:
+            print(
+                run_federation_edge(
+                    args.edge,
+                    listen=(
+                        args.listen
+                        if args.listen is not None
+                        else "127.0.0.1:0"
                     ),
-                    queue_depth=(
-                        args.queue_depth
-                        if args.queue_depth is not None
-                        else 8
+                    shards=shards,
+                    expect_users=expect_users,
+                    queue_depth=queue_depth,
+                    push_every=(
+                        args.push_every if args.push_every is not None else 2
+                    ),
+                    edge_number=(
+                        args.edge_id if args.edge_id is not None else 0
                     ),
                     port_file=args.port_file,
                     checkpoint=args.checkpoint,
                     checkpoint_every=args.checkpoint_every,
                     metrics_path=args.metrics,
+                    retry=args.retry if args.retry is not None else 1,
+                    tls_cert=args.tls_cert,
+                    tls_key=args.tls_key,
+                    tls_ca=args.tls_ca,
                 )
             )
         elif args.connect:
@@ -372,6 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     batches=batches,
                     retry=args.retry if args.retry is not None else 1,
                     metrics_path=args.metrics,
+                    tls_ca=args.tls_ca,
                 )
             )
         elif args.oneshot:

@@ -1,0 +1,132 @@
+"""The ``STATE`` push payload: one edge snapshot on the wire.
+
+A federation push carries an edge aggregator's full, cumulative
+:meth:`~repro.session.LDPServer.state_dict` — *not* a delta. The edge
+keeps accumulating locally and ships a bigger snapshot each epoch; the
+root keeps only the newest epoch per edge and merges across edges at
+read time. Cumulative snapshots are what make the tier idempotent under
+every failure mode: a re-pushed epoch is a byte-identical no-op, a
+skipped epoch is covered by the next one, and an edge that crashed and
+resumed from its checkpoint re-ships everything it durably held.
+
+Payload layout (inside one transport frame, ``u64 epoch`` in the frame
+header)::
+
+    u32 CRC-32 | canonical-JSON push document
+
+The document embeds the contract fingerprint (lifted out of the state
+snapshot) so the root refuses a foreign-contract push before touching
+its aggregation state, plus the edge's plain gateway counters — the root
+aggregates those across edges in its own ``STATS`` snapshot, so one
+admin request covers the whole topology. Damage (CRC failure, malformed
+JSON, missing fields) raises
+:class:`~repro.exceptions.WireFormatError`; a foreign contract raises
+:class:`~repro.exceptions.ContractMismatchError` naming both
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..exceptions import WireFormatError
+from ..wire.contract import CollectionContract
+
+#: Format tag and version of the push document.
+PUSH_FORMAT = "repro-federation-state-push"
+PUSH_VERSION = 1
+
+_CRC_HEAD = struct.Struct("<I")
+
+
+def encode_state_push(
+    state: Mapping[str, Any],
+    counters: Optional[Mapping[str, Any]] = None,
+) -> bytes:
+    """Serialize one state push (CRC-sealed canonical JSON).
+
+    ``state`` is an :meth:`~repro.session.LDPServer.state_dict`
+    snapshot; ``counters`` are the edge's plain gateway counters (JSON
+    scalars), carried for root-side aggregation only — they never touch
+    the estimate.
+    """
+    fingerprint = state.get("fingerprint") if isinstance(state, Mapping) else None
+    if not isinstance(fingerprint, str):
+        raise WireFormatError(
+            "a state push needs a state_dict snapshot (with its embedded "
+            "fingerprint), got %r" % (state,)
+        )
+    document = {
+        "format": PUSH_FORMAT,
+        "push_version": PUSH_VERSION,
+        "fingerprint": fingerprint,
+        "state": dict(state),
+        "counters": dict(counters) if counters else {},
+    }
+    try:
+        blob = json.dumps(document, sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(
+            "state push is not JSON-serializable: %s" % exc
+        ) from None
+    return _CRC_HEAD.pack(zlib.crc32(blob) & 0xFFFFFFFF) + blob
+
+
+def decode_state_push(
+    payload: bytes, contract: CollectionContract
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Verify and unpack one push payload as ``(state, counters)``.
+
+    The CRC seal, the document structure and the contract fingerprint
+    are all checked before anything is returned — a root never folds
+    bytes it could not fully validate.
+    """
+    if len(payload) < _CRC_HEAD.size:
+        raise WireFormatError(
+            "state push of %d bytes is shorter than its CRC header"
+            % len(payload)
+        )
+    (crc,) = _CRC_HEAD.unpack_from(payload)
+    blob = payload[_CRC_HEAD.size:]
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        raise WireFormatError(
+            "state push failed its CRC check: the payload was corrupted "
+            "in flight or truncated"
+        )
+    try:
+        document = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireFormatError(
+            "state push does not hold a valid JSON document: %s" % exc
+        ) from None
+    if not isinstance(document, dict) or document.get("format") != PUSH_FORMAT:
+        raise WireFormatError(
+            "not a %r document: %r" % (PUSH_FORMAT, document)
+        )
+    if document.get("push_version") != PUSH_VERSION:
+        raise WireFormatError(
+            "unsupported state push version %r (this build speaks %d)"
+            % (document.get("push_version"), PUSH_VERSION)
+        )
+    fingerprint = document.get("fingerprint")
+    try:
+        digest = bytes.fromhex(fingerprint)
+    except (TypeError, ValueError):
+        raise WireFormatError(
+            "malformed state push fingerprint: %r" % (fingerprint,)
+        ) from None
+    contract.require_digest(digest, "federation state push")
+    state = document.get("state")
+    if not isinstance(state, dict):
+        raise WireFormatError(
+            "state push carries no state snapshot: %r" % (state,)
+        )
+    counters = document.get("counters")
+    if not isinstance(counters, dict):
+        raise WireFormatError(
+            "state push carries malformed counters: %r" % (counters,)
+        )
+    return state, counters

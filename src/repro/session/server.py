@@ -353,6 +353,28 @@ class LDPServer:
             self._states[name] = collector.new_state()
         self._users = 0
 
+    def merge_state_dict(self, state: Mapping[str, Any]) -> "LDPServer":
+        """Fold a :meth:`state_dict` snapshot *into* the current state.
+
+        The additive counterpart of :meth:`load_state_dict` (which
+        replaces): the snapshot's accumulators are added to this
+        server's, exactly — merging a peer's snapshot is bit-identical
+        to having ingested the peer's batches directly. This is the
+        merge surface the federation tier rides: a root aggregator folds
+        edge ``state_dict`` pushes without ever seeing a report frame.
+
+        All-or-nothing like the other state verbs: the snapshot is fully
+        validated and restored (contract fingerprint, format, every
+        attribute) before any accumulator is touched.
+        """
+        restored, users = self._restore_states(state)
+        for name, collector in self.collectors.items():
+            collector.merge_states(self._states[name], restored[name])
+        self._users += users
+        if self.telemetry is not None:
+            self._m_merges.inc()
+        return self
+
     # --------------------------------------------------------- checkpoints
 
     def state_dict(self) -> Dict[str, Any]:
@@ -379,6 +401,20 @@ class LDPServer:
 
         All-or-nothing: the current state is swapped out only after the
         whole snapshot restored cleanly.
+        """
+        restored, users = self._restore_states(state)
+        self._states = restored
+        self._users = users
+        return self
+
+    def _restore_states(
+        self, state: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], int]:
+        """Validate a :meth:`state_dict` snapshot and rebuild its states.
+
+        Shared by :meth:`load_state_dict` (replace) and
+        :meth:`merge_state_dict` (add); raises before anything of this
+        server is touched.
         """
         if not isinstance(state, Mapping) or state.get("format") != STATE_FORMAT:
             raise WireFormatError(
@@ -415,9 +451,7 @@ class LDPServer:
             name: collector.restore(attributes[name])
             for name, collector in self.collectors.items()
         }
-        self._states = restored
-        self._users = users
-        return self
+        return restored, users
 
     def save_state(self, path: Union[str, pathlib.Path]) -> None:
         """Checkpoint the aggregation state to a JSON file.

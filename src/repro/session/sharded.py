@@ -185,6 +185,16 @@ class ShardedServer:
         self._install_restored(restored)
         return self
 
+    def merge_state_dict(self, state) -> "ShardedServer":
+        """Fold a snapshot *into* the topology (additive, shard 0).
+
+        Delegates to :meth:`LDPServer.merge_state_dict` on shard 0 —
+        since aggregation is exactly additive, where the snapshot lands
+        is invisible in the merged estimate.
+        """
+        self.shards[0].merge_state_dict(state)
+        return self
+
     def _install_restored(self, restored: LDPServer) -> None:
         for shard in self.shards[1:]:
             shard.reset()

@@ -31,6 +31,7 @@ and even a mid-round crash-and-resume cannot move it by one ulp.
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     SENDER_ID_SIZE,
+    STATE_MAGIC,
     STATS_MAGIC,
     STATUS_CONTRACT_MISMATCH,
     STATUS_OK,
@@ -47,6 +48,7 @@ __all__ = [
     "CollectionGateway",
     "DEFAULT_MAX_FRAME_BYTES",
     "SENDER_ID_SIZE",
+    "STATE_MAGIC",
     "STATS_MAGIC",
     "STATUS_CONTRACT_MISMATCH",
     "STATUS_OK",

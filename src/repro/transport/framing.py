@@ -43,6 +43,13 @@ library's typed exceptions via :func:`raise_for_status`; after reporting
 one the gateway closes the connection (a stream that produced malformed
 bytes cannot be trusted to stay in frame). A client ends its stream by
 half-closing the connection (EOF instead of a frame header).
+
+Federation ``STATE`` pushes (:mod:`repro.federation`) reuse the same
+framing with the roles renamed: the hello opens with ``STATE_MAGIC`` and
+carries the *edge id* in the sender-id field, the reply's watermark is
+the highest *epoch* the root has folded durably, and each data-phase
+frame is ``u64 epoch | u32 length | one encoded state-push payload`` —
+acknowledged by the same status messages.
 """
 
 from __future__ import annotations
@@ -65,10 +72,21 @@ TRANSPORT_MAGIC = b"LDPT"
 #: JSON snapshot, then closes.
 STATS_MAGIC = b"LDPS"
 
+#: Magic opening a federation ``STATE`` push stream: a hello-sized
+#: message whose sender-id field carries the *edge id* announces an edge
+#: aggregator shipping merged ``state_dict`` snapshots upstream instead
+#: of individual report frames. The root answers with a normal hello
+#: reply whose resume watermark is the highest *epoch* it has durably
+#: folded for that edge — the same dedup contract report streams get,
+#: lifted one tier up (see :mod:`repro.federation`).
+STATE_MAGIC = b"LDPU"
+
 #: Version of the socket transport (handshake + framing), independent of
 #: the wire codec version embedded in every payload frame. Version 2
-#: added sender ids, frame sequence numbers and the resume watermark.
-TRANSPORT_VERSION = 2
+#: added sender ids, frame sequence numbers and the resume watermark;
+#: version 3 added the federation ``STATE`` push stream (edge
+#: aggregators shipping epoch-numbered merged snapshots upstream).
+TRANSPORT_VERSION = 3
 
 #: Bytes naming one logical report stream across reconnects.
 SENDER_ID_SIZE = 16

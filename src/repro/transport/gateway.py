@@ -187,6 +187,7 @@ class CollectionGateway:
             else float(checkpoint_every_seconds)
         )
         self._queues: List[asyncio.Queue] = []
+        self._frame_listeners: List[Any] = []
         self._consumers: List[asyncio.Task] = []
         self._connections: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
@@ -306,8 +307,22 @@ class CollectionGateway:
         """The collection contract every connection must match."""
         return self.server.contract
 
+    def add_frame_listener(self, listener) -> None:
+        """Register a zero-argument callable invoked per accepted frame.
+
+        Called synchronously right after a frame's intake (counters
+        updated, watermark advanced), still under the intake barrier —
+        so a listener that counts frames sees exactly the accepted
+        sequence. Listeners must be cheap and must not raise; the
+        federation edge uses one to wake its push loop.
+        """
+        self._frame_listeners.append(listener)
+
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ssl=None,
     ) -> "CollectionGateway":
         """Bind the listening socket and spawn the shard consumers.
 
@@ -319,6 +334,11 @@ class CollectionGateway:
         :class:`~repro.exceptions.ContractMismatchError` naming both
         fingerprints; a damaged store raises
         :class:`~repro.exceptions.CheckpointCorruptError`.
+
+        ``ssl`` is an optional server-side :class:`ssl.SSLContext`; with
+        it the gateway only speaks TLS (a plaintext client cannot
+        handshake) — the framing above the encrypted stream is
+        unchanged.
         """
         if self._tcp is not None:
             raise TransportError("gateway is already serving")
@@ -353,7 +373,9 @@ class CollectionGateway:
         # No await separates the bind from the spawns, so a connection
         # accepted by the new socket cannot be handled before its
         # consumers exist.
-        self._tcp = await asyncio.start_server(self._handle, host, port)
+        self._tcp = await asyncio.start_server(
+            self._handle, host, port, ssl=ssl
+        )
         self._consumers = [
             asyncio.ensure_future(self._consume(index))
             for index in range(len(self._queues))
@@ -841,6 +863,8 @@ class CollectionGateway:
                 if users == 0:
                     self.heartbeats += 1
                     self._m_heartbeats.inc()
+                for listener in self._frame_listeners:
+                    listener()
             emit(
                 self._log,
                 "frame_accepted",
@@ -963,6 +987,7 @@ async def serve_collection(
     checkpoint_every_frames: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
     metrics: Optional[MetricsRegistry] = None,
+    ssl=None,
 ) -> CollectionGateway:
     """Start a :class:`CollectionGateway` over ``server`` on ``host:port``.
 
@@ -984,4 +1009,4 @@ async def serve_collection(
         checkpoint_every_seconds=checkpoint_every_seconds,
         metrics=metrics,
     )
-    return await gateway.start(host, port)
+    return await gateway.start(host, port, ssl=ssl)

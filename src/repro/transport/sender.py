@@ -143,17 +143,20 @@ class AsyncReportSender:
         contract: ContractLike,
         sender_id: Optional[bytes] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ssl=None,
     ) -> "AsyncReportSender":
         """Open a connection and perform the contract handshake.
 
         Raises :class:`~repro.exceptions.ContractMismatchError` when the
         gateway collects under a different contract — before any payload
         bytes flow — and :class:`~repro.exceptions.TransportError` when
-        the peer is not a collection gateway at all.
+        the peer is not a collection gateway at all. ``ssl`` is an
+        optional client-side :class:`ssl.SSLContext` for a TLS-serving
+        gateway; the framing above the encrypted stream is unchanged.
         """
         agreed = _as_contract(contract)
         stream_id = _as_sender_id(sender_id)
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(host, port, ssl=ssl)
         try:
             writer.write(
                 HELLO.pack(
@@ -295,6 +298,7 @@ async def replay_frames(
     attempts: int = 1,
     retry_delay: float = 0.5,
     metrics: Optional[MetricsRegistry] = None,
+    ssl=None,
 ) -> "AsyncReportSender":
     """Deliver a whole round of encoded frames exactly once, with retries.
 
@@ -335,7 +339,12 @@ async def replay_frames(
             await asyncio.sleep(retry_delay)
         try:
             sender = await AsyncReportSender.connect(
-                host, port, contract, sender_id=sender_id, metrics=metrics
+                host,
+                port,
+                contract,
+                sender_id=sender_id,
+                metrics=metrics,
+                ssl=ssl,
             )
             async with sender:
                 for frame in frames:
@@ -373,7 +382,12 @@ async def replay_frames(
     ) from failures[-1][1]
 
 
-async def request_stats(host: str, port: int) -> Dict[str, Any]:
+async def request_stats(
+    host: str,
+    port: int,
+    timeout: Optional[float] = 10.0,
+    ssl=None,
+) -> Dict[str, Any]:
     """Fetch a gateway's live telemetry snapshot over its socket.
 
     Sends a ``STATS`` control request — a hello-sized message opened by
@@ -382,8 +396,27 @@ async def request_stats(host: str, port: int) -> Dict[str, Any]:
     (the gateway's :meth:`~repro.transport.CollectionGateway.
     stats_snapshot`: ``counters`` + ``metrics``). Needs no contract, so
     any admin client can poll a round mid-flight.
+
+    ``timeout`` bounds the whole exchange (connect through reply) in
+    seconds; a gateway that accepts the connection but never answers —
+    hung event loop, half-dead process — raises
+    :class:`~repro.exceptions.TransportError` after ``timeout`` seconds
+    instead of blocking the admin client forever. Pass ``None`` to wait
+    without bound.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await asyncio.wait_for(
+            _request_stats(host, port, ssl=ssl), timeout
+        )
+    except asyncio.TimeoutError:
+        raise TransportError(
+            "gateway at %s:%d did not answer the stats request within "
+            "%.1f seconds" % (host, port, timeout)
+        ) from None
+
+
+async def _request_stats(host: str, port: int, ssl=None) -> Dict[str, Any]:
+    reader, writer = await asyncio.open_connection(host, port, ssl=ssl)
     try:
         writer.write(
             HELLO.pack(

@@ -143,6 +143,101 @@ class TestShardEquivalence:
         _assert_estimates_equal(before, target.estimate())
 
 
+class TestCrossTopologyMerges:
+    """Satellite (ISSUE 8): merges across topologies stay bit-identical.
+
+    The federation tier leans on these shapes — an edge that pushed
+    before receiving anything, a root restoring snapshots cut under a
+    different shard count, states recovered from heterogeneous storage
+    backends — so each is pinned against the one-shot reference here.
+    """
+
+    def test_merge_with_an_empty_side_is_identity(self):
+        schema, spec = _session("piecewise")
+        _, batches = _batches(schema, spec, count=4, users=100)
+        one_shot = LDPServer(schema, epsilon=2.0, protocols=spec)
+        one_shot.ingest(batches)
+        # full.merge(empty): the empty server contributes nothing
+        full = LDPServer(schema, epsilon=2.0, protocols=spec)
+        full.ingest(batches)
+        full.merge(LDPServer(schema, epsilon=2.0, protocols=spec))
+        _assert_estimates_equal(one_shot.estimate(), full.estimate(), "r-empty")
+        # empty.merge(full): the empty target becomes the full state
+        target = LDPServer(schema, epsilon=2.0, protocols=spec)
+        source = LDPServer(schema, epsilon=2.0, protocols=spec)
+        source.ingest(batches)
+        target.merge(source)
+        _assert_estimates_equal(
+            one_shot.estimate(), target.estimate(), "l-empty"
+        )
+
+    def test_snapshot_from_different_shard_count_restores_and_merges(self):
+        """A 3-shard snapshot restores into a 2-shard topology, keeps
+        ingesting, merges — still bit-identical to one-shot."""
+        schema, spec = _session("oue")
+        client, batches = _batches(schema, spec, count=6, users=100)
+        one_shot = LDPServer(schema, epsilon=2.0, protocols=spec)
+        one_shot.ingest(batches)
+        first = ShardedServer(schema, epsilon=2.0, protocols=spec, shards=3)
+        for batch in batches[:3]:
+            first.ingest_encoded(client.encode(batch))
+        second = ShardedServer(schema, epsilon=2.0, protocols=spec, shards=2)
+        second.load_state_dict(first.state_dict())
+        for batch in batches[3:]:
+            second.ingest_encoded(client.encode(batch))
+        _assert_estimates_equal(one_shot.estimate(), second.estimate())
+
+    def test_merge_state_dict_folds_instead_of_replacing(self):
+        """The additive verb: two halves fold into one running server."""
+        schema, spec = _session("grr")
+        _, batches = _batches(schema, spec, count=4, users=100)
+        one_shot = LDPServer(schema, epsilon=2.0, protocols=spec)
+        one_shot.ingest(batches)
+        left = LDPServer(schema, epsilon=2.0, protocols=spec)
+        left.ingest(batches[:2])
+        right = LDPServer(schema, epsilon=2.0, protocols=spec)
+        right.ingest(batches[2:])
+        left.merge_state_dict(right.state_dict())
+        _assert_estimates_equal(one_shot.estimate(), left.estimate(), "plain")
+        # Same through a ShardedServer (lands on shard 0, invisible in
+        # the merged estimate), and a foreign snapshot is still refused.
+        sharded = ShardedServer(schema, epsilon=2.0, protocols=spec, shards=2)
+        sharded.merge_state_dict(left.state_dict())
+        _assert_estimates_equal(
+            one_shot.estimate(), sharded.estimate(), "sharded"
+        )
+        foreign = LDPServer(schema, epsilon=3.0, protocols=spec)
+        with pytest.raises(ContractMismatchError):
+            sharded.merge_state_dict(foreign.state_dict())
+
+    def test_states_restored_from_different_backends_merge_identically(
+        self, tmp_path
+    ):
+        """file:// and sqlite:// halves of a round merge to one-shot."""
+        from repro.storage import open_store
+
+        schema, spec = _session("olh")
+        _, batches = _batches(schema, spec, count=4, users=100)
+        one_shot = LDPServer(schema, epsilon=2.0, protocols=spec)
+        one_shot.ingest(batches)
+        stores = [
+            open_store("file://%s" % (tmp_path / "half.json")),
+            open_store("sqlite://%s" % (tmp_path / "half.db")),
+        ]
+        try:
+            for store, half in zip(stores, (batches[:2], batches[2:])):
+                server = LDPServer(schema, epsilon=2.0, protocols=spec)
+                server.ingest(half)
+                store.save(server.state_dict())
+            merged = LDPServer(schema, epsilon=2.0, protocols=spec)
+            for store in stores:
+                merged.merge_state_dict(store.recover())
+        finally:
+            for store in stores:
+                store.close()
+        _assert_estimates_equal(one_shot.estimate(), merged.estimate())
+
+
 class TestCheckpoints:
     @pytest.mark.parametrize("protocol", ["piecewise", "grr", "oue", "olh"])
     def test_save_load_resumes_identically(self, protocol, tmp_path):

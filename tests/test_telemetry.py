@@ -22,7 +22,11 @@ import logging
 import numpy as np
 import pytest
 
-from repro.exceptions import CheckpointCorruptError, TelemetryError
+from repro.exceptions import (
+    CheckpointCorruptError,
+    TelemetryError,
+    TransportError,
+)
 from repro.session import (
     CategoricalAttribute,
     LDPClient,
@@ -470,6 +474,34 @@ class TestGatewayTelemetry:
             final["metrics"]["gateway_stats_requests_total"]["values"][""]
             == 1.0
         )
+
+    def test_stats_request_times_out_against_a_silent_peer(self):
+        """Satellite (ISSUE 8): a peer that accepts the connection but
+        never answers cannot hang the admin client — request_stats gives
+        up after its timeout with a typed TransportError."""
+
+        async def scenario():
+            # A server that reads nothing and writes nothing: the
+            # connection opens, then silence.
+            stalls = asyncio.Event()
+
+            async def black_hole(reader, writer):
+                stalls.set()
+                await asyncio.sleep(3600)
+
+            server = await asyncio.start_server(
+                black_hole, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(TransportError, match="did not answer"):
+                    await request_stats("127.0.0.1", port, timeout=0.2)
+                assert stalls.is_set()  # it really connected, then hung
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
 
     def test_uninstrumented_gateway_still_snapshots(self):
         """No metrics= argument: the gateway builds its own registry."""

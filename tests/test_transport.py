@@ -580,6 +580,19 @@ class TestCliSocketRound:
             with pytest.raises(ValueError, match="HOST:PORT"):
                 parse_endpoint(bad)
 
+    def test_parse_endpoint_bracketed_ipv6(self):
+        """Satellite (ISSUE 8): ``[::1]:9000`` splits on the bracket."""
+        from repro.experiments.socket_round import parse_endpoint
+
+        assert parse_endpoint("[::1]:9000") == ("::1", 9000)
+        assert parse_endpoint("[fe80::2]:0") == ("fe80::2", 0)
+        # A bracketed host keeps its inner colons; an unbracketed IPv6
+        # still splits on the *last* colon (backwards compatible).
+        assert parse_endpoint("[::1:8080]:9") == ("::1:8080", 9)
+        for bad in (":::", "[::1]", "[::1]:", "[::1]:abc", "[]:80", "[::1"):
+            with pytest.raises(ValueError, match="PORT"):
+                parse_endpoint(bad)
+
     def test_round_frames_are_deterministic(self):
         from repro.experiments.socket_round import round_frames
 
