@@ -17,8 +17,14 @@ honest. Two families:
   — concurrent :class:`~repro.transport.AsyncReportSender` clients
   handshake a :func:`~repro.transport.serve_collection` gateway, ship
   length-prefixed frames through the acked/backpressured path, and the
-  gateway drains-and-merges. Frames/second and MB/second land in the
-  same JSON record under ``"socket"``.
+  gateway drains-and-merges. Frames/second, MB/second and the wire-v2
+  bytes/report (against the dense v1 encoding of the same batches,
+  asserted >= 4x smaller) land in the same JSON record under
+  ``"socket"``.
+* **client reporting**: :meth:`~repro.session.LDPClient.report_batch`
+  perturbing one million users per protocol (piecewise, duchi, oue,
+  olh, grr) — the device-side rate that bounds simulation-driven
+  experiments; reports/second per protocol land under ``"client"``.
 * **checkpoint stores**: a full round checkpoint (the workload's
   aggregation snapshot plus sender watermarks) is saved and recovered
   through each :mod:`repro.storage` backend. Round-trips/second and
@@ -29,9 +35,10 @@ honest. Two families:
   push the workload's full cumulative state to a
   :class:`~repro.federation.RootAggregator` over localhost TCP
   (handshake, CRC-sealed encode, root-side validate + fold, merged
-  estimate). States/second and upstream MB/second land under
-  ``"federation"``, sizing how often ``--push-every`` can fire before
-  the push hop dominates the round.
+  estimate). States/second, upstream MB/second, and the bytes of a
+  steady-state *delta* push (one batch of growth) next to the full
+  snapshot land under ``"federation"``, sizing how often
+  ``--push-every`` can fire before the push hop dominates the round.
 
 The socket bench also runs one *instrumented* round and records the
 gateway's telemetry snapshot (queue-depth occupancy, backpressure
@@ -48,9 +55,21 @@ import numpy as np
 import pytest
 
 from repro.experiments.collection import mixed_schema
-from repro.federation import StatePusher, encode_state_push, serve_root
+from repro.federation import (
+    StatePusher,
+    encode_state_push,
+    serve_root,
+    state_dict_delta,
+)
 from repro.mechanisms import available_mechanisms, get_mechanism
-from repro.session import LDPClient, ShardedServer
+from repro.session import (
+    CategoricalAttribute,
+    LDPClient,
+    NumericAttribute,
+    Schema,
+    ShardedServer,
+)
+from repro.wire import encode_batch
 from repro.storage import (
     encode_document,
     open_store,
@@ -141,6 +160,7 @@ def _record_wire_result(
         "checkpoint": "checkpoint_store",
         "telemetry": "socket_round_telemetry",
         "federation": "federation_state_push",
+        "client": "client_report_batch",
     }
     document["workload"] = workload
     document.setdefault(section, {})[str(key)] = payload
@@ -198,6 +218,17 @@ def test_socket_ingest_throughput(benchmark, results_dir):
     per_client = [frames[i::SOCKET_CLIENTS] for i in range(SOCKET_CLIENTS)]
     total_reports = WIRE_USERS * schema.dimensions
     total_bytes = sum(len(frame) for frame in frames)
+    # The same batches under wire v1 (dense float payloads): the v2
+    # packed/narrowed families must keep this OUE-heavy workload at
+    # least 4x smaller on the wire, or the codec regressed.
+    v1_total_bytes = sum(
+        len(encode_batch(batch, client.contract, version=1))
+        for batch in batches
+    )
+    assert v1_total_bytes >= 4 * total_bytes, (
+        "wire v2 compresses this workload only %.2fx over v1"
+        % (v1_total_bytes / total_bytes)
+    )
 
     def socket_round(metrics=None):
         async def run():
@@ -249,6 +280,9 @@ def test_socket_ingest_throughput(benchmark, results_dir):
             "frames_per_second": len(frames) / seconds,
             "mb_per_second": total_bytes / seconds / 1e6,
             "reports_per_second": throughput,
+            "bytes_per_report": total_bytes / total_reports,
+            "v1_bytes_per_report": v1_total_bytes / total_reports,
+            "compression_vs_v1": v1_total_bytes / total_bytes,
         },
         section="socket",
     )
@@ -364,10 +398,19 @@ def test_federation_push_throughput(benchmark, results_dir):
     server = ShardedServer(
         schema, EPSILON, protocols={"category": "oue"}, shards=SOCKET_SHARDS
     )
-    for batch in batches:
+    for batch in batches[:-1]:
         server.ingest_encoded(client.encode(batch))
+    base_state = server.state_dict()
+    server.ingest_encoded(client.encode(batches[-1]))
     state = server.state_dict()
     push_bytes = len(encode_state_push(state))
+    # What a steady-state edge ships instead of the full snapshot: the
+    # exact accumulator delta covering just the final batch.
+    delta_bytes = len(
+        encode_state_push(
+            state_dict_delta(state, base_state), kind="delta", base_epoch=1
+        )
+    )
 
     def federated_round():
         async def run():
@@ -407,6 +450,7 @@ def test_federation_push_throughput(benchmark, results_dir):
         {
             "edges": FEDERATION_EDGES,
             "push_bytes": push_bytes,
+            "delta_push_bytes": delta_bytes,
             "seconds_mean": seconds,
             "states_per_second": states_per_second,
             "upstream_mb_per_second": (
@@ -414,4 +458,60 @@ def test_federation_push_throughput(benchmark, results_dir):
             ),
         },
         section="federation",
+    )
+
+
+# --------------------------------------------------------------------------
+# Client side: LDPClient.report_batch at population scale, per protocol
+# --------------------------------------------------------------------------
+
+CLIENT_USERS = 1_000_000
+CLIENT_CATEGORIES = 16
+CLIENT_PROTOCOLS = ("piecewise", "duchi", "oue", "olh", "grr")
+#: Conservative floor (reports/second) for one attribute's perturbation
+#: through the full client path (validate → privatize → batch).
+MIN_CLIENT_THROUGHPUT = 5e4
+
+
+@pytest.mark.parametrize("protocol", CLIENT_PROTOCOLS)
+def test_client_report_batch_throughput(benchmark, results_dir, protocol):
+    """Reports/second a single client process can produce per protocol.
+
+    The device-side half of the pipeline: the socket and federation
+    sections measure how fast the collector folds reports, this one
+    measures how fast :meth:`LDPClient.report_batch` can make them — the
+    number that bounds simulation-driven experiments at paper scale.
+    """
+    numeric = protocol in ("piecewise", "duchi")
+    if numeric:
+        schema = Schema([NumericAttribute("value")])
+    else:
+        schema = Schema(
+            [CategoricalAttribute("label", n_categories=CLIENT_CATEGORIES)]
+        )
+    client = LDPClient(schema, EPSILON, protocols={schema.names[0]: protocol})
+    rng = np.random.default_rng(BENCH_SEED)
+    if numeric:
+        records = rng.uniform(-1.0, 1.0, size=(CLIENT_USERS, 1))
+    else:
+        records = rng.integers(
+            0, CLIENT_CATEGORIES, size=(CLIENT_USERS, 1)
+        ).astype(np.float64)
+
+    batch = benchmark(client.report_batch, records, rng)
+    assert batch.users == CLIENT_USERS
+    seconds = benchmark.stats.stats.mean
+    throughput = CLIENT_USERS / seconds
+    assert throughput > MIN_CLIENT_THROUGHPUT, (
+        "%s client produces only %.0f reports/s" % (protocol, throughput)
+    )
+    _record_wire_result(
+        results_dir,
+        protocol,
+        {
+            "users": CLIENT_USERS,
+            "seconds_mean": seconds,
+            "reports_per_second": throughput,
+        },
+        section="client",
     )

@@ -5,12 +5,15 @@ planet-scale round does not fit in it. This package adds the missing
 tier: *edge aggregators* (:class:`EdgeAggregator`) each run a full local
 :class:`~repro.transport.CollectionGateway` — clients connect to the
 nearest edge exactly as they would to a standalone gateway — fold
-accepted frames into their own shards, and periodically push merged,
-cumulative :meth:`~repro.session.LDPServer.state_dict` snapshots
-upstream to a single :class:`RootAggregator` over the existing framed
-socket protocol (a ``STATE`` hello instead of a report hello, one
-CRC-sealed push per epoch). The root keeps the newest epoch per edge and
-merges across edges with the exact big-integer accumulation, so the
+accepted frames into their own shards, and periodically push merged
+:meth:`~repro.session.LDPServer.state_dict` state upstream to a single
+:class:`RootAggregator` over the existing framed socket protocol (a
+``STATE`` hello instead of a report hello, one CRC-sealed push per
+epoch) — as the exact accumulator *delta* since the last acknowledged
+epoch when the root provably holds that base, and as the full cumulative
+snapshot otherwise. The root installs either kind as the edge's newest
+cumulative state (deltas are added to the stored record through the
+exact merge) and merges across edges with the big-integer accumulation, so the
 federated estimate is **bit-identical** to one-shot ingestion of every
 client's reports — for any edge count, any client-to-edge assignment,
 any push cadence, and across edge or root crash-restarts (both tiers
@@ -47,9 +50,14 @@ from .pusher import EDGE_ID_SIZE, StatePusher
 from .root import RootAggregator, serve_root
 from .state_push import (
     PUSH_FORMAT,
+    PUSH_KIND_DELTA,
+    PUSH_KIND_SNAPSHOT,
     PUSH_VERSION,
+    SUPPORTED_PUSH_VERSIONS,
+    StatePush,
     decode_state_push,
     encode_state_push,
+    state_dict_delta,
 )
 
 __all__ = [
@@ -57,14 +65,19 @@ __all__ = [
     "FEDERATION_FORMAT",
     "FEDERATION_VERSION",
     "PUSH_FORMAT",
+    "PUSH_KIND_DELTA",
+    "PUSH_KIND_SNAPSHOT",
     "PUSH_VERSION",
+    "SUPPORTED_PUSH_VERSIONS",
     "EdgeAggregator",
     "EdgeRecord",
     "RootAggregator",
+    "StatePush",
     "StatePusher",
     "decode_state_push",
     "encode_state_push",
     "federation_checkpoint_document",
     "parse_federation_checkpoint",
     "serve_root",
+    "state_dict_delta",
 ]

@@ -9,16 +9,20 @@ and folds accepted frames into its own
 accepted frames, every ``T`` seconds, or both) it cuts a cumulative
 :meth:`~repro.session.LDPServer.state_dict` snapshot and pushes it
 upstream to a :class:`~repro.federation.RootAggregator` through a
-:class:`~repro.federation.StatePusher`.
+:class:`~repro.federation.StatePusher` — as the accumulator *delta*
+since the last acknowledged push whenever the root provably holds that
+base (same connection, matching watermark), and as the full snapshot
+otherwise (first push, reconnects, restarts, refused deltas).
 
 Nothing is ever lost between the tiers. Locally the gateway's own
-durable checkpoints cover acknowledged frames; upstream every push is
-cumulative, so a push that never arrived is subsumed by the next one,
-and an edge that crashed resumes from its checkpoint and re-ships
-everything it durably held under the same edge id. The root's epoch
-watermark dedups whatever overlaps. The federated estimate therefore
-stays bit-identical to one-shot ingestion of every client's reports —
-the property the whole tier is built around.
+durable checkpoints cover acknowledged frames; upstream every push —
+snapshot or delta applied to the root's stored state — leaves the root
+holding the edge's full cumulative state, so a push that never arrived
+is subsumed by the next one, and an edge that crashed resumes from its
+checkpoint and re-ships everything it durably held under the same edge
+id. The root's epoch watermark dedups whatever overlaps. The federated
+estimate therefore stays bit-identical to one-shot ingestion of every
+client's reports — the property the whole tier is built around.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import asyncio
 import logging
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..exceptions import TransportError
+from ..exceptions import TransportError, WireFormatError
 from ..session.client import ProtocolSpec
 from ..session.schema import Schema
 from ..session.server import Postprocessor, SessionEstimate
@@ -39,6 +43,7 @@ from ..transport.gateway import CollectionGateway
 from ..transport.sender import _as_sender_id
 from ..wire.contract import CollectionContract
 from .pusher import StatePusher
+from .state_push import state_dict_delta
 
 
 class EdgeAggregator:
@@ -138,7 +143,13 @@ class EdgeAggregator:
         self._stopping = False
         self._frames_at_push = 0
         self._frames_since_push = 0
+        #: Snapshot and epoch of the last push the root acknowledged —
+        #: the base the next delta push builds on. ``None`` forces a
+        #: full snapshot (first push, failed delta, edge restart).
+        self._base_state: Optional[Dict[str, Any]] = None
+        self._base_epoch = 0
         self.pushes_completed = 0
+        self.delta_pushes = 0
         self.push_retries = 0
         self.last_epoch = 0
         self.last_push_error: Optional[Exception] = None
@@ -151,6 +162,10 @@ class EdgeAggregator:
         self._m_push_retries = registry.counter(
             "edge_push_retries_total",
             "Push attempts that failed with a transport error",
+        )
+        self._m_delta_pushes = registry.counter(
+            "edge_delta_pushes_total",
+            "Acknowledged pushes shipped as deltas instead of snapshots",
         )
         self._m_last_epoch = registry.gauge(
             "edge_last_epoch",
@@ -312,10 +327,21 @@ class EdgeAggregator:
         Serialised: concurrent callers queue on a lock, so snapshots go
         out in epoch order. The gateway's shard queues are drained first
         so the snapshot covers every frame acknowledged before the call.
+
+        Whenever the connection's acknowledged epoch matches this edge's
+        recorded base — i.e. the root provably holds the exact state the
+        last ack covered — only the accumulator *delta* since that base
+        goes on the wire; otherwise (first push, reconnect onto a
+        different watermark, restart) the full snapshot ships. Either
+        way the root ends up holding the same cumulative state, so the
+        choice is invisible to correctness.
+
         Transport failures are retried up to ``push_attempts`` times
         with a fresh connection (and a re-learned epoch watermark) each
-        time; typed rejections — contract mismatch, malformed push —
-        propagate immediately, because the root will refuse them again.
+        time; a refused *delta* costs one retry and falls back to a full
+        snapshot; other typed rejections — contract mismatch, malformed
+        push — propagate immediately, because the root will refuse them
+        again.
         """
         async with self._push_lock:
             await self.gateway.drain()
@@ -333,9 +359,30 @@ class EdgeAggregator:
             for attempt in range(1, self.push_attempts + 1):
                 if attempt > 1:
                     await asyncio.sleep(self.push_retry_delay)
+                as_delta = False
                 try:
                     pusher = await self._ensure_pusher()
-                    epoch = await pusher.push(state, counters)
+                    delta: Optional[Dict[str, Any]] = None
+                    if (
+                        self._base_state is not None
+                        and pusher.acked_epoch == self._base_epoch
+                    ):
+                        try:
+                            delta = state_dict_delta(state, self._base_state)
+                        except ValueError:
+                            # Not a prefix pair (e.g. the local server
+                            # was reset mid-round): ship it all.
+                            self._base_state = None
+                    if delta is not None:
+                        as_delta = True
+                        epoch = await pusher.push(
+                            delta,
+                            counters,
+                            kind="delta",
+                            base_epoch=self._base_epoch,
+                        )
+                    else:
+                        epoch = await pusher.push(state, counters)
                 except (TransportError, ConnectionError, OSError) as exc:
                     failures.append((attempt, exc))
                     self.push_retries += 1
@@ -351,7 +398,33 @@ class EdgeAggregator:
                     )
                     await self._close_pusher()
                     continue
+                except WireFormatError as exc:
+                    if not as_delta:
+                        raise
+                    # The root refused the delta (base mismatch after an
+                    # ack raced a crash, say). Forget the base so the
+                    # next attempt ships the authoritative full snapshot.
+                    self._base_state = None
+                    self._base_epoch = 0
+                    failures.append((attempt, exc))
+                    self.push_retries += 1
+                    self._m_push_retries.inc()
+                    emit(
+                        self._log,
+                        "delta_refused",
+                        level=logging.WARNING,
+                        edge_id=self.edge_id.hex(),
+                        attempt=attempt,
+                        error=str(exc),
+                    )
+                    await self._close_pusher()
+                    continue
                 self.pushes_completed += 1
+                if as_delta:
+                    self.delta_pushes += 1
+                    self._m_delta_pushes.inc()
+                self._base_state = state
+                self._base_epoch = epoch
                 self.last_epoch = epoch
                 self.last_push_error = None
                 self._frames_at_push = frames
@@ -405,6 +478,7 @@ class EdgeAggregator:
         snapshot["federation"] = {
             "edge_id": self.edge_id.hex(),
             "pushes_completed": self.pushes_completed,
+            "delta_pushes": self.delta_pushes,
             "push_retries": self.push_retries,
             "last_epoch": self.last_epoch,
             "unpushed_frames": self._frames_since_push,

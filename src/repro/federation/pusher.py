@@ -37,7 +37,7 @@ from ..transport.framing import (
     write_frame,
 )
 from ..transport.sender import ContractLike, _as_contract, _as_sender_id
-from .state_push import encode_state_push
+from .state_push import PUSH_KIND_SNAPSHOT, encode_state_push
 
 _LOG = event_logger("pusher")
 
@@ -74,6 +74,11 @@ class StatePusher:
         self._writer = writer
         self._closed = False
         self._next_epoch = resume_epoch + 1
+        #: Highest epoch the root has acknowledged on *this* connection
+        #: (starts at the resume watermark). Edges compare it against
+        #: their delta base to know whether the root holds the state a
+        #: delta would build on.
+        self.acked_epoch = resume_epoch
         self.pushes_sent = 0
         self.bytes_sent = 0
         self.telemetry = metrics
@@ -171,21 +176,26 @@ class StatePusher:
         self,
         state: Mapping[str, Any],
         counters: Optional[Mapping[str, Any]] = None,
+        kind: str = PUSH_KIND_SNAPSHOT,
+        base_epoch: int = 0,
     ) -> int:
-        """Ship one cumulative state snapshot; returns its epoch number.
+        """Ship one state push; returns its epoch number.
 
-        The ack only arrives once the root has validated the snapshot,
-        folded it into its edge table and — when it checkpoints —
-        persisted it durably, so a returned epoch is a *safe* epoch: the
-        reports it covers survive anything short of losing the root's
-        storage.
+        ``kind="snapshot"`` (the default) ships ``state`` as the full
+        cumulative snapshot; ``kind="delta"`` ships it as a
+        :func:`~repro.federation.state_push.state_dict_delta` difference
+        over the acknowledged epoch ``base_epoch``. The ack only arrives
+        once the root has validated the push, folded it into its edge
+        table and — when it checkpoints — persisted it durably, so a
+        returned epoch is a *safe* epoch: the reports it covers survive
+        anything short of losing the root's storage.
         """
         if self._closed:
             raise TransportError("pusher is closed")
         started = (
             self.telemetry.clock() if self.telemetry is not None else 0.0
         )
-        payload = encode_state_push(state, counters)
+        payload = encode_state_push(state, counters, kind, base_epoch)
         epoch = self._next_epoch
         self._next_epoch += 1
         write_frame(self._writer, epoch, payload)
@@ -199,6 +209,7 @@ class StatePusher:
         except BaseException:
             await self.close()  # the root closes after an error status
             raise
+        self.acked_epoch = epoch
         self.pushes_sent += 1
         self.bytes_sent += len(payload)
         if self.telemetry is not None:
@@ -210,6 +221,7 @@ class StatePusher:
             "state_pushed",
             edge_id=self.edge_id.hex(),
             epoch=epoch,
+            kind=kind,
             bytes=len(payload),
         )
         return epoch

@@ -5,12 +5,15 @@ of the framed socket protocol (:mod:`repro.transport.framing`). Edge
 aggregators connect with a hello opened by ``STATE_MAGIC`` carrying
 their edge id, and then push epoch-numbered, CRC-sealed, contract-
 fingerprint-checked :meth:`~repro.session.LDPServer.state_dict`
-snapshots. The root keeps exactly one record per edge — the newest
-epoch's cumulative snapshot — and merges across edges at read time with
-the exact big-integer accumulation, so the federated estimate is a pure
-function of the report multiset: bit-identical to one-shot ingestion
-regardless of edge count, push ordering, duplicate pushes, or mid-round
-edge restarts.
+payloads — full cumulative snapshots, or *deltas* over the edge's last
+acknowledged epoch, which the root adds to its stored record through
+the exact big-integer merge before installing the sum as the new
+cumulative snapshot. Either way the root keeps exactly one record per
+edge — the newest epoch's cumulative state — and merges across edges at
+read time with the exact big-integer accumulation, so the federated
+estimate is a pure function of the report multiset: bit-identical to
+one-shot ingestion regardless of edge count, push ordering, duplicate
+pushes, push kinds, or mid-round edge restarts.
 
 Idempotency is the load-bearing property. The handshake reply's resume
 watermark is the highest epoch the root folded for that edge; a push at
@@ -60,7 +63,7 @@ from .checkpoint import (
     federation_checkpoint_document,
     parse_federation_checkpoint,
 )
-from .state_push import decode_state_push
+from .state_push import PUSH_KIND_DELTA, decode_state_push
 
 
 class RootAggregator:
@@ -111,6 +114,7 @@ class RootAggregator:
         # edge table and (with a store) persisted durably.
         self.pushes_accepted = 0
         self.pushes_deduped = 0
+        self.deltas_applied = 0
         self.pushes_rejected = 0
         self.handshakes_rejected = 0
         self.bytes_received = 0
@@ -126,6 +130,10 @@ class RootAggregator:
         self._m_pushes_deduped = registry.counter(
             "root_pushes_deduped_total",
             "Replayed epochs acknowledged without folding (edge retries)",
+        )
+        self._m_deltas_applied = registry.counter(
+            "root_deltas_applied_total",
+            "Accepted pushes that arrived as deltas over a stored base",
         )
         self._m_pushes_rejected = registry.counter(
             "root_pushes_rejected_total",
@@ -360,6 +368,7 @@ class RootAggregator:
         counters = {
             "pushes_accepted": self.pushes_accepted,
             "pushes_deduped": self.pushes_deduped,
+            "deltas_applied": self.deltas_applied,
             "pushes_rejected": self.pushes_rejected,
             "handshakes_rejected": self.handshakes_rejected,
             "rejections_total": self.pushes_rejected + self.handshakes_rejected,
@@ -527,9 +536,13 @@ class RootAggregator:
         """Fold epoch-numbered pushes until EOF or the first bad one.
 
         Epochs at or below the edge's watermark are acknowledged without
-        folding (the edge retried past our ack); newer epochs replace
-        the edge's record. Unlike report streams, epochs may skip ahead
-        — a snapshot is cumulative, so epoch ``n`` covers everything any
+        folding (the edge retried past our ack); newer snapshot epochs
+        replace the edge's record, and delta epochs — accepted only when
+        their ``base_epoch`` names exactly the record the root holds —
+        are added to it through the exact merge, so the installed state
+        equals the snapshot the edge would have shipped, bit for bit.
+        Unlike report streams, epochs may skip ahead — the installed
+        state is always cumulative, so epoch ``n`` covers everything any
         skipped epoch would have.
         """
         while True:
@@ -565,11 +578,37 @@ class RootAggregator:
                 continue
             started = self._clock()
             try:
-                state, counters = decode_state_push(payload, self.contract)
-                # Validate the snapshot restores cleanly BEFORE
-                # installing it — a malformed state must not replace a
-                # good one (merged() would fail long after the ack).
-                LDPServer(*self._constructor_args).load_state_dict(state)
+                push = decode_state_push(payload, self.contract)
+                counters = push.counters
+                if push.kind == PUSH_KIND_DELTA:
+                    record = self._edges.get(edge_id)
+                    if record is None:
+                        raise WireFormatError(
+                            "delta push over base epoch %d from edge %s, "
+                            "but this root holds no state for it — a "
+                            "delta needs the snapshot it builds on"
+                            % (push.base_epoch, edge_id.hex())
+                        )
+                    if push.base_epoch != record[0]:
+                        raise WireFormatError(
+                            "delta push builds on epoch %d but this root "
+                            "holds epoch %d for edge %s — the edge must "
+                            "re-ship a full snapshot"
+                            % (push.base_epoch, record[0], edge_id.hex())
+                        )
+                    # Exact merge onto the stored base: the installed
+                    # state equals the full snapshot the edge holds, bit
+                    # for bit (stored + (current − stored) == current).
+                    folded = LDPServer(*self._constructor_args)
+                    folded.load_state_dict(record[1])
+                    folded.merge_state_dict(push.state)
+                    state = folded.state_dict()
+                else:
+                    state = push.state
+                    # Validate the snapshot restores cleanly BEFORE
+                    # installing it — a malformed state must not replace
+                    # a good one (merged() would fail long after the ack).
+                    LDPServer(*self._constructor_args).load_state_dict(state)
             except ContractMismatchError as exc:
                 self._reject_push("contract_mismatch", edge_id, exc)
                 await self._reply(writer, STATUS_CONTRACT_MISMATCH, str(exc))
@@ -621,6 +660,9 @@ class RootAggregator:
             self.bytes_received += len(payload)
             self._m_pushes_accepted.inc()
             self._m_bytes_received.inc(len(payload))
+            if push.kind == PUSH_KIND_DELTA:
+                self.deltas_applied += 1
+                self._m_deltas_applied.inc()
             self._m_fold_seconds.observe(self._clock() - started)
             self._observe_edge(edge_id, epoch, state)
             emit(
@@ -629,6 +671,7 @@ class RootAggregator:
                 level=logging.DEBUG,
                 edge_id=edge_id.hex(),
                 epoch=epoch,
+                kind=push.kind,
                 users=state.get("users"),
                 bytes=len(payload),
             )

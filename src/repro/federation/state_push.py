@@ -1,28 +1,52 @@
-"""The ``STATE`` push payload: one edge snapshot on the wire.
+"""The ``STATE`` push payload: one edge snapshot — or delta — on the wire.
 
-A federation push carries an edge aggregator's full, cumulative
-:meth:`~repro.session.LDPServer.state_dict` — *not* a delta. The edge
-keeps accumulating locally and ships a bigger snapshot each epoch; the
-root keeps only the newest epoch per edge and merges across edges at
-read time. Cumulative snapshots are what make the tier idempotent under
-every failure mode: a re-pushed epoch is a byte-identical no-op, a
-skipped epoch is covered by the next one, and an edge that crashed and
-resumed from its checkpoint re-ships everything it durably held.
+A federation push carries an edge aggregator's
+:meth:`~repro.session.LDPServer.state_dict` in one of two kinds:
+
+``snapshot``
+    The full, cumulative state. The root replaces its record for the
+    edge. Snapshots are what make the tier idempotent under every
+    failure mode: a re-pushed epoch is a byte-identical no-op, a
+    skipped epoch is covered by the next one, and an edge that crashed
+    and resumed from its checkpoint re-ships everything it durably held.
+``delta``
+    Only the accumulator growth since ``base_epoch`` — the last epoch
+    the root acknowledged to this edge. Because every accumulator in a
+    state snapshot is exactly additive (big-integer sums, int64
+    counts), the difference of two snapshots is itself a valid
+    snapshot, and the root adds it to its stored record through the
+    same exact merge; ``stored + (current − stored) == current`` holds
+    bit for bit. Deltas exist purely to cut upstream bytes: an edge
+    falls back to a full snapshot on its first push, after any
+    reconnect whose re-learned watermark disagrees with its base, and
+    whenever a delta cannot be formed or is refused.
 
 Payload layout (inside one transport frame, ``u64 epoch`` in the frame
 header)::
 
-    u32 CRC-32 | canonical-JSON push document
+    u32 CRC-32 | canonical-JSON push document          (version 1)
+    u32 CRC-32 | zlib(canonical-JSON push document)    (version 2)
+
+Version-2 documents also tokenize the exact accumulator big-integers as
+``[-]<hex significand>p<shift>`` before serializing: a column sum is a
+handful of significant bits followed by the ~1100 zero bits of the
+fixed-point scale, so the token is ~20 characters where the decimal
+digits were ~340 — the dominant share of a push's bytes. Both
+transforms are lossless (the decoded state is the exact dict the edge
+encoded) and both are distinguishable on sight: a raw version-1 JSON
+document starts with ``{``, a zlib stream never does.
 
 The document embeds the contract fingerprint (lifted out of the state
 snapshot) so the root refuses a foreign-contract push before touching
 its aggregation state, plus the edge's plain gateway counters — the root
 aggregates those across edges in its own ``STATS`` snapshot, so one
-admin request covers the whole topology. Damage (CRC failure, malformed
-JSON, missing fields) raises
-:class:`~repro.exceptions.WireFormatError`; a foreign contract raises
-:class:`~repro.exceptions.ContractMismatchError` naming both
-fingerprints.
+admin request covers the whole topology. Counters are always cumulative
+(the root replaces them even under a delta push). Damage (CRC failure,
+malformed JSON, missing fields, an impossible kind/base_epoch pair)
+raises :class:`~repro.exceptions.WireFormatError`; a foreign contract
+raises :class:`~repro.exceptions.ContractMismatchError` naming both
+fingerprints. Version-1 documents (no ``kind``/``base_epoch`` fields)
+still decode — they are full snapshots by definition.
 """
 
 from __future__ import annotations
@@ -30,28 +54,124 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, NamedTuple, Optional
 
 from ..exceptions import WireFormatError
 from ..wire.contract import CollectionContract
 
 #: Format tag and version of the push document.
 PUSH_FORMAT = "repro-federation-state-push"
-PUSH_VERSION = 1
+PUSH_VERSION = 2
+
+#: Push document versions this build decodes.
+SUPPORTED_PUSH_VERSIONS = (1, 2)
+
+#: The two push kinds a version-2 document may carry.
+PUSH_KIND_SNAPSHOT = "snapshot"
+PUSH_KIND_DELTA = "delta"
 
 _CRC_HEAD = struct.Struct("<I")
+
+#: Decompression bound for version-2 documents (bomb guard).
+MAX_PUSH_DOCUMENT_BYTES = 1 << 28
+
+#: Minimum trailing zero bits before an accumulator integer is worth
+#: tokenizing as ``<hex significand>p<shift>``.
+_MIN_TOKEN_SHIFT = 16
+
+
+def _hexp_token(value: Any) -> Any:
+    """Tokenize one exact column sum for the wire (lossless).
+
+    ``sig * 2**shift`` with the significand in hex: the fixed-point
+    accumulators carry ~1100 trailing zero bits of scale, so the token
+    is ~20 characters where the decimal digits were ~340. Values that
+    are not large even integers pass through unchanged.
+    """
+    if not isinstance(value, int) or isinstance(value, bool) or value == 0:
+        return value
+    magnitude = -value if value < 0 else value
+    shift = (magnitude & -magnitude).bit_length() - 1
+    if shift < _MIN_TOKEN_SHIFT:
+        return value
+    return "%s%xp%d" % ("-" if value < 0 else "", magnitude >> shift, shift)
+
+
+def _hexp_value(entry: Any) -> Any:
+    """Invert :func:`_hexp_token`; non-string entries pass through."""
+    if not isinstance(entry, str):
+        return entry
+    body = entry[1:] if entry.startswith("-") else entry
+    significand, sep, shift = body.partition("p")
+    try:
+        value = int(significand, 16) << int(shift)
+    except (TypeError, ValueError):
+        raise WireFormatError(
+            "malformed accumulator token %r" % (entry,)
+        ) from None
+    if not sep or int(shift) < 0:
+        raise WireFormatError("malformed accumulator token %r" % (entry,))
+    return -value if entry.startswith("-") else value
+
+
+def _transform_sums(state: Any, transform: Any) -> Any:
+    """Rewrite every exact-sum column list of a state document.
+
+    Structure-preserving and forgiving: anything not shaped like a
+    state document passes through untouched (downstream validation owns
+    rejecting it), so the codec never masks a malformed push behind a
+    transform error.
+    """
+    if not isinstance(state, dict) or not isinstance(
+        state.get("attributes"), dict
+    ):
+        return state
+    attributes = {}
+    for name, snapshot in state["attributes"].items():
+        if (
+            isinstance(snapshot, dict)
+            and isinstance(snapshot.get("sums"), dict)
+            and isinstance(snapshot["sums"].get("sums"), list)
+        ):
+            sums = dict(snapshot["sums"])
+            sums["sums"] = [transform(value) for value in sums["sums"]]
+            snapshot = dict(snapshot)
+            snapshot["sums"] = sums
+        attributes[name] = snapshot
+    packed = dict(state)
+    packed["attributes"] = attributes
+    return packed
+
+
+class StatePush(NamedTuple):
+    """One decoded push: its state payload and how to fold it.
+
+    ``state`` is a full cumulative snapshot when ``kind`` is
+    ``"snapshot"`` and an additive difference over the edge's state at
+    ``base_epoch`` when ``kind`` is ``"delta"``. ``counters`` are always
+    the edge's cumulative gateway counters.
+    """
+
+    state: Dict[str, Any]
+    counters: Dict[str, Any]
+    kind: str
+    base_epoch: int
 
 
 def encode_state_push(
     state: Mapping[str, Any],
     counters: Optional[Mapping[str, Any]] = None,
+    kind: str = PUSH_KIND_SNAPSHOT,
+    base_epoch: int = 0,
 ) -> bytes:
     """Serialize one state push (CRC-sealed canonical JSON).
 
     ``state`` is an :meth:`~repro.session.LDPServer.state_dict`
-    snapshot; ``counters`` are the edge's plain gateway counters (JSON
-    scalars), carried for root-side aggregation only — they never touch
-    the estimate.
+    snapshot — or, for ``kind="delta"``, a :func:`state_dict_delta`
+    difference, with ``base_epoch`` naming the acknowledged epoch the
+    delta builds on. ``counters`` are the edge's plain gateway counters
+    (JSON scalars), carried for root-side aggregation only — they never
+    touch the estimate.
     """
     fingerprint = state.get("fingerprint") if isinstance(state, Mapping) else None
     if not isinstance(fingerprint, str):
@@ -59,11 +179,25 @@ def encode_state_push(
             "a state push needs a state_dict snapshot (with its embedded "
             "fingerprint), got %r" % (state,)
         )
+    if kind not in (PUSH_KIND_SNAPSHOT, PUSH_KIND_DELTA):
+        raise WireFormatError("unknown push kind %r" % (kind,))
+    base = int(base_epoch)
+    if kind == PUSH_KIND_DELTA and base < 1:
+        raise WireFormatError(
+            "a delta push must name the acknowledged epoch it builds on, "
+            "got base_epoch=%d" % base
+        )
+    if kind == PUSH_KIND_SNAPSHOT and base != 0:
+        raise WireFormatError(
+            "a snapshot push carries no base epoch, got base_epoch=%d" % base
+        )
     document = {
         "format": PUSH_FORMAT,
         "push_version": PUSH_VERSION,
         "fingerprint": fingerprint,
-        "state": dict(state),
+        "kind": kind,
+        "base_epoch": base,
+        "state": _transform_sums(dict(state), _hexp_token),
         "counters": dict(counters) if counters else {},
     }
     try:
@@ -72,17 +206,19 @@ def encode_state_push(
         raise WireFormatError(
             "state push is not JSON-serializable: %s" % exc
         ) from None
+    blob = zlib.compress(blob, 6)
     return _CRC_HEAD.pack(zlib.crc32(blob) & 0xFFFFFFFF) + blob
 
 
 def decode_state_push(
     payload: bytes, contract: CollectionContract
-) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-    """Verify and unpack one push payload as ``(state, counters)``.
+) -> StatePush:
+    """Verify and unpack one push payload as a :class:`StatePush`.
 
-    The CRC seal, the document structure and the contract fingerprint
-    are all checked before anything is returned — a root never folds
-    bytes it could not fully validate.
+    The CRC seal, the document structure, the contract fingerprint and
+    the kind/base_epoch pairing are all checked before anything is
+    returned — a root never folds bytes it could not fully validate.
+    Version-1 documents decode as ``kind="snapshot"``, ``base_epoch=0``.
     """
     if len(payload) < _CRC_HEAD.size:
         raise WireFormatError(
@@ -96,6 +232,22 @@ def decode_state_push(
             "state push failed its CRC check: the payload was corrupted "
             "in flight or truncated"
         )
+    if not blob.startswith(b"{"):
+        # Version 2 compresses the document; version 1 shipped it raw
+        # (and a JSON object can never open with a zlib header byte).
+        decompressor = zlib.decompressobj()
+        try:
+            blob = decompressor.decompress(blob, MAX_PUSH_DOCUMENT_BYTES)
+        except zlib.error as exc:
+            raise WireFormatError(
+                "state push does not hold a valid compressed document: %s"
+                % exc
+            ) from None
+        if decompressor.unconsumed_tail:
+            raise WireFormatError(
+                "state push document exceeds %d bytes decompressed"
+                % MAX_PUSH_DOCUMENT_BYTES
+            )
     try:
         document = json.loads(blob.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -106,10 +258,11 @@ def decode_state_push(
         raise WireFormatError(
             "not a %r document: %r" % (PUSH_FORMAT, document)
         )
-    if document.get("push_version") != PUSH_VERSION:
+    version = document.get("push_version")
+    if version not in SUPPORTED_PUSH_VERSIONS:
         raise WireFormatError(
-            "unsupported state push version %r (this build speaks %d)"
-            % (document.get("push_version"), PUSH_VERSION)
+            "unsupported state push version %r (this build speaks %s)"
+            % (version, list(SUPPORTED_PUSH_VERSIONS))
         )
     fingerprint = document.get("fingerprint")
     try:
@@ -119,14 +272,177 @@ def decode_state_push(
             "malformed state push fingerprint: %r" % (fingerprint,)
         ) from None
     contract.require_digest(digest, "federation state push")
+    if version == 1:
+        kind, base_epoch = PUSH_KIND_SNAPSHOT, 0
+    else:
+        kind = document.get("kind")
+        if kind not in (PUSH_KIND_SNAPSHOT, PUSH_KIND_DELTA):
+            raise WireFormatError(
+                "state push carries unknown kind %r" % (kind,)
+            )
+        base_epoch = document.get("base_epoch")
+        if (
+            not isinstance(base_epoch, int)
+            or isinstance(base_epoch, bool)
+            or base_epoch < 0
+        ):
+            raise WireFormatError(
+                "malformed push base epoch: %r" % (base_epoch,)
+            )
+        if kind == PUSH_KIND_DELTA and base_epoch < 1:
+            raise WireFormatError(
+                "a delta push must name the acknowledged epoch it builds "
+                "on, got base_epoch=%d" % base_epoch
+            )
+        if kind == PUSH_KIND_SNAPSHOT and base_epoch != 0:
+            raise WireFormatError(
+                "a snapshot push carries no base epoch, got base_epoch=%d"
+                % base_epoch
+            )
     state = document.get("state")
     if not isinstance(state, dict):
         raise WireFormatError(
             "state push carries no state snapshot: %r" % (state,)
         )
+    if version >= 2:
+        state = _transform_sums(state, _hexp_value)
     counters = document.get("counters")
     if not isinstance(counters, dict):
         raise WireFormatError(
             "state push carries malformed counters: %r" % (counters,)
         )
-    return state, counters
+    return StatePush(state, counters, kind, base_epoch)
+
+
+# --------------------------------------------------------------------------
+# Delta arithmetic over state_dict snapshots
+# --------------------------------------------------------------------------
+
+
+def _delta_oracle(name: str, cur: Mapping, prev: Mapping) -> Dict[str, Any]:
+    counts_cur = cur["counts"]
+    counts_prev = prev["counts"]
+    if len(counts_cur) != len(counts_prev):
+        raise ValueError(
+            "attribute %r: count widths differ (%d vs %d)"
+            % (name, len(counts_cur), len(counts_prev))
+        )
+    counts = [int(a) - int(b) for a, b in zip(counts_cur, counts_prev)]
+    users = int(cur["users"]) - int(prev["users"])
+    if users < 0 or any(count < 0 for count in counts):
+        raise ValueError(
+            "attribute %r: the earlier snapshot is not a prefix of the "
+            "newer one" % name
+        )
+    return {"kind": "oracle-counts", "counts": counts, "users": users}
+
+
+def _delta_sums(name: str, cur: Mapping, prev: Mapping) -> Dict[str, Any]:
+    sums_cur, sums_prev = cur["sums"], prev["sums"]
+    for field in ("kind", "width", "scale_bits"):
+        if sums_cur.get(field) != sums_prev.get(field):
+            raise ValueError(
+                "attribute %r: accumulator %s differs (%r vs %r)"
+                % (name, field, sums_cur.get(field), sums_prev.get(field))
+            )
+    acc_cur, acc_prev = sums_cur["sums"], sums_prev["sums"]
+    if len(acc_cur) != len(acc_prev):
+        raise ValueError(
+            "attribute %r: accumulator widths differ (%d vs %d)"
+            % (name, len(acc_cur), len(acc_prev))
+        )
+    rows = int(sums_cur["rows"]) - int(sums_prev["rows"])
+    if rows < 0:
+        raise ValueError(
+            "attribute %r: the earlier snapshot is not a prefix of the "
+            "newer one" % name
+        )
+    return {
+        "kind": cur["kind"],
+        "sums": {
+            "kind": sums_cur["kind"],
+            "width": sums_cur["width"],
+            "rows": rows,
+            "scale_bits": sums_cur["scale_bits"],
+            # Column sums may legitimately go negative per column (the
+            # perturbed reports are signed); only the row/user counts
+            # are monotone.
+            "sums": [int(a) - int(b) for a, b in zip(acc_cur, acc_prev)],
+        },
+    }
+
+
+_DELTA_BY_KIND = {
+    "oracle-counts": _delta_oracle,
+    "numeric-sum": _delta_sums,
+    "histogram-sum": _delta_sums,
+}
+
+
+def state_dict_delta(
+    current: Mapping[str, Any], previous: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """The exact accumulator growth from ``previous`` to ``current``.
+
+    Both arguments are :meth:`~repro.session.LDPServer.state_dict`
+    snapshots of the *same* server at two points in time (``previous``
+    earlier). The result is itself a valid state document: merging it
+    into ``previous`` with the exact big-integer merge reproduces
+    ``current`` bit for bit, which is the invariant delta pushes ride.
+
+    Raises :class:`ValueError` whenever a trustworthy delta cannot be
+    formed — mismatched contracts or formats, an attribute kind this
+    builder does not know how to difference, or any monotone counter
+    (users, rows, oracle counts) that went *down*, which proves the
+    snapshots are not a prefix pair. Callers treat that as "ship a full
+    snapshot instead", never as corruption.
+    """
+    try:
+        for document in (current, previous):
+            if not isinstance(document, Mapping):
+                raise ValueError("state snapshots must be mappings")
+        for field in ("format", "state_version", "fingerprint"):
+            if current.get(field) != previous.get(field):
+                raise ValueError(
+                    "snapshot %s differs (%r vs %r): not the same round"
+                    % (field, current.get(field), previous.get(field))
+                )
+        if not isinstance(current.get("fingerprint"), str):
+            raise ValueError("snapshots carry no contract fingerprint")
+        users = int(current["users"]) - int(previous["users"])
+        if users < 0:
+            raise ValueError(
+                "the earlier snapshot covers more users than the newer one"
+            )
+        attrs_cur, attrs_prev = current["attributes"], previous["attributes"]
+        if set(attrs_cur) != set(attrs_prev):
+            raise ValueError(
+                "snapshot attribute sets differ: %s vs %s"
+                % (sorted(attrs_cur), sorted(attrs_prev))
+            )
+        attributes: Dict[str, Any] = {}
+        for name in attrs_cur:
+            cur, prev = attrs_cur[name], attrs_prev[name]
+            kind = cur.get("kind")
+            if kind != prev.get("kind"):
+                raise ValueError(
+                    "attribute %r changed kind (%r vs %r)"
+                    % (name, kind, prev.get("kind"))
+                )
+            builder = _DELTA_BY_KIND.get(kind)
+            if builder is None:
+                raise ValueError(
+                    "attribute %r: no delta rule for state kind %r"
+                    % (name, kind)
+                )
+            attributes[name] = builder(name, cur, prev)
+    except (KeyError, TypeError) as exc:
+        raise ValueError("malformed state snapshot: %s" % exc) from None
+    return {
+        "format": current["format"],
+        "state_version": current["state_version"],
+        "fingerprint": current["fingerprint"],
+        "contract": current.get("contract"),
+        "users": users,
+        "attributes": attributes,
+    }

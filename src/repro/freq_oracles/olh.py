@@ -41,8 +41,8 @@ def _hash_buckets(seeds: np.ndarray, items: np.ndarray, buckets: int) -> np.ndar
     1/2), which inflates OLH's support counts and biases the estimator —
     the exact failure mode the mixing rounds below prevent.
     """
-    a = seeds[:, 0].astype(np.uint64)
-    b = seeds[:, 1].astype(np.uint64)
+    a = seeds[..., 0].astype(np.uint64)
+    b = seeds[..., 1].astype(np.uint64)
     with np.errstate(over="ignore"):
         z = a * _MIX1 + b + items.astype(np.uint64) * _MIX2
         z ^= z >> np.uint64(30)
@@ -106,11 +106,14 @@ class OptimizedLocalHashing(FrequencyOracle):
         for start in range(0, users, chunk):
             seeds = reports.seeds[start : start + chunk]
             observed = reports.buckets[start : start + chunk, None]
+            # Broadcast seeds (k, 1, 2) against categories (1, v): the
+            # hash evaluates elementwise over the (k, v) grid with the
+            # identical uint64 arithmetic the flat repeat/tile layout
+            # used, but without materializing k*v copies of the seed
+            # and category vectors first.
             hashed = _hash_buckets(
-                np.repeat(seeds, self.n_categories, axis=0),
-                np.tile(categories, seeds.shape[0]),
-                self.n_buckets,
-            ).reshape(seeds.shape[0], self.n_categories)
+                seeds[:, None, :], categories[None, :], self.n_buckets
+            )
             supports += (hashed == observed).sum(axis=0)
         return supports
 

@@ -68,7 +68,7 @@ from ..storage import (
 )
 from ..storage.base import encode_document
 from ..telemetry import MetricsRegistry, emit, event_logger
-from ..wire.codec import decode_batch
+from ..wire.codec import iter_attribute_blocks
 from ..wire.contract import CollectionContract
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -822,10 +822,20 @@ class CollectionGateway:
                 await self._reply(writer, STATUS_WIRE_ERROR, str(exc))
                 return
             try:
-                batch = decode_batch(frame, contract=self.contract)
-                # Validation is contract-level and identical across
-                # shards; consumers fold without re-validating.
-                users, canonical = self.server.shards[0]._validate_batch(batch)
+                # Streaming decode: each attribute block is parsed and
+                # validated as it comes off the frame (payloads stay
+                # read-only zero-copy views into it) — no intermediate
+                # ReportBatch. Validation is contract-level and
+                # identical across shards; consumers fold without
+                # re-validating, and nothing folds until every block of
+                # the frame has passed.
+                users, blocks = iter_attribute_blocks(
+                    frame, contract=self.contract
+                )
+                canonical = self.server.shards[0]._validate_blocks(
+                    users, blocks
+                )
+                users = int(users)
             except ContractMismatchError as exc:
                 self._reject_frame("contract_mismatch", sender_id, exc)
                 await self._reply(writer, STATUS_CONTRACT_MISMATCH, str(exc))

@@ -7,9 +7,14 @@ Everything a collection round needs to leave one Python process:
 * :func:`encode_batch` / :func:`decode_batch` — a versioned,
   self-describing, CRC-protected binary codec for every report payload
   family (numeric vectors, histogram/OUE matrices, GRR labels, OLH
-  ``(seed, bucket)`` pairs), bit-exact on round trip;
+  ``(seed, bucket)`` pairs), bit-exact on round trip. Version 2 adds
+  compressed families — packed 0/1 bit matrices, sparse
+  ``(index, value)`` matrices, narrow integer lanes — and a zero-copy
+  decode path whose payloads are read-only views into the frame;
+* :func:`iter_attribute_blocks` — incremental decoding: validate the
+  frame globally, then parse/validate one attribute block at a time;
 * :func:`read_fingerprint` — peek at a frame's contract fingerprint
-  without decoding payloads (e.g. for routing).
+  from the header alone, without touching the payload bytes.
 
 Servers embed and verify the fingerprint automatically:
 :meth:`~repro.session.LDPServer.ingest_encoded` refuses frames produced
@@ -19,21 +24,41 @@ raise :class:`~repro.exceptions.WireFormatError`.
 """
 
 from .codec import (
+    BIT_MATRIX,
+    FLOAT_MATRIX,
+    FLOAT_VECTOR,
+    INT_VECTOR,
     MAGIC,
+    OLH_REPORTS,
+    SPARSE_MATRIX,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    AttributeBlock,
     decode_batch,
     encode_batch,
+    iter_attribute_blocks,
     read_fingerprint,
 )
 from .contract import CONTRACT_VERSION, DIGEST_SIZE, CollectionContract
+from .packing import SPARSE_DENSITY_CUTOFF
 
 __all__ = [
+    "AttributeBlock",
+    "BIT_MATRIX",
     "CONTRACT_VERSION",
     "CollectionContract",
     "DIGEST_SIZE",
+    "FLOAT_MATRIX",
+    "FLOAT_VECTOR",
+    "INT_VECTOR",
     "MAGIC",
+    "OLH_REPORTS",
+    "SPARSE_DENSITY_CUTOFF",
+    "SPARSE_MATRIX",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
     "decode_batch",
     "encode_batch",
+    "iter_attribute_blocks",
     "read_fingerprint",
 ]

@@ -8,11 +8,11 @@ truncated or corrupted buffers (CRC-32 over the whole frame), malformed
 attribute blocks, unknown protocol names, and batches produced under a
 different :class:`~repro.wire.CollectionContract`.
 
-Frame layout (version 1, all integers little-endian)::
+Frame layout (versions 1 and 2, all integers little-endian)::
 
     offset  size  field
     0       4     magic  b"LDPW"
-    4       2     wire version (= 1)
+    4       2     wire version (1 or 2)
     6       16    contract digest (SHA-256 prefix, see repro.wire.contract)
     22      8     users in the batch (u64)
     30      4     number of attribute blocks (u32)
@@ -27,44 +27,97 @@ Attribute block::
     1     payload family tag
     ...   family-specific payload
 
-Payload families cover every report representation the registered
-protocols produce:
+Version 1 payload families cover every report representation the
+registered protocols produce:
 
-    0  FLOAT_VECTOR  k float64            numeric mechanism reports
-    1  FLOAT_MATRIX  u32 width, k*width   histogram / OUE bit matrices
-                     float64
-    2  INT_VECTOR    k int64              GRR noisy labels
-    3  OLH_REPORTS   k*2 int64 seeds,     OLH (seed, bucket) pairs
-                     k int64 buckets
+    0  FLOAT_VECTOR   k float64            numeric mechanism reports
+    1  FLOAT_MATRIX   u32 width, k*width   dense histogram matrices
+                      float64
+    2  INT_VECTOR     k int64              GRR noisy labels
+    3  OLH_REPORTS    k*2 int64 seeds,     OLH (seed, bucket) pairs
+                      k int64 buckets
+
+Version 2 keeps those four and adds compressed families (plus a compact
+``INT_VECTOR`` body — see below)::
+
+    4  BIT_MATRIX     u32 width v,         0/1 matrices (OUE reports)
+                      k * ceil(v/8) bytes  packed row-major via packbits
+    5  SPARSE_MATRIX  u32 width v,         low-density float matrices as
+                      u64 nnz,             sorted (flat index, value)
+                      nnz int64 indices,   pairs; strictly increasing
+                      nnz float64 values   in-range indices required
+
+In a version-2 frame the ``INT_VECTOR`` body is ``u8 itemsize`` followed
+by ``k`` signed little-endian integers of that width — GRR labels travel
+at the narrowest signed dtype holding the payload's range (int8 for any
+domain under 128 categories) instead of a fixed int64 lane.
+
+``_encode_payload`` picks the family per payload: a float matrix whose
+entries are all exactly 0.0/1.0 packs as ``BIT_MATRIX`` (64× smaller,
+losslessly restored to the identical float64 matrix); a matrix with at
+most :data:`~repro.wire.packing.SPARSE_DENSITY_CUTOFF` non-zero entries
+ships as ``SPARSE_MATRIX``; everything else falls back to the dense v1
+family. Decoding is strict about the compressed bodies too: set padding
+bits past column ``v``, out-of-range or non-increasing sparse indices,
+explicit sparse zeros, and invalid integer lane widths all raise
+:class:`~repro.exceptions.WireFormatError`.
+
+Version-1 frames still decode (the golden fixture under ``tests/data``
+pins that), and a version-1 decoder cleanly refuses version-2 frames
+through the existing version check — no v1 peer can half-read a
+compressed frame.
 
 Arrays are serialized as raw little-endian bytes, so ``decode(encode(b))``
 reproduces payloads exactly — ingesting a decoded batch yields estimates
-bit-identical to ingesting the in-memory original.
+bit-identical to ingesting the in-memory original. Decoding is
+zero-copy where the wire body already is the in-memory representation:
+payload arrays are read-only :func:`numpy.frombuffer` views into the
+frame buffer (they keep it alive), so a gateway folds reports without
+ever duplicating the frame.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import WireFormatError
 from ..freq_oracles.olh import OlhReports
 from .contract import DIGEST_SIZE, CollectionContract
+from .packing import (
+    SPARSE_DENSITY_CUTOFF,
+    dense_from_sparse,
+    int_dtype_for_width,
+    is_bit_matrix,
+    narrowest_int_dtype,
+    pack_bit_matrix,
+    packed_row_bytes,
+    sparse_from_dense,
+    unpack_bit_matrix,
+)
 
 MAGIC = b"LDPW"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+#: Frame versions this decoder accepts. Encoders may target any of them
+#: (``encode_batch(..., version=1)`` produces byte-identical v1 frames,
+#: which is how the golden back-compat fixture was generated).
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 FLOAT_VECTOR = 0
 FLOAT_MATRIX = 1
 INT_VECTOR = 2
 OLH_REPORTS = 3
+BIT_MATRIX = 4
+SPARSE_MATRIX = 5
 
 _HEADER = struct.Struct("<4sH%dsQI" % DIGEST_SIZE)
 _ATTR_HEAD = struct.Struct("<HHQB")
+_U8 = struct.Struct("<B")
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 _CRC = struct.Struct("<I")
 
 _FLOAT = np.dtype("<f8")
@@ -76,7 +129,34 @@ _INT = np.dtype("<i8")
 # --------------------------------------------------------------------------
 
 
-def _encode_payload(name: str, payload: Any, count: int) -> bytes:
+def _encode_float_matrix(name: str, array: np.ndarray, version: int) -> bytes:
+    """Pick the cheapest family for a 2-D float payload (v2 frames)."""
+    width = array.shape[1]
+    if version >= 2 and width >= 1:
+        if is_bit_matrix(array):
+            return (
+                bytes([BIT_MATRIX])
+                + _U32.pack(width)
+                + pack_bit_matrix(array)
+            )
+        nnz = int(np.count_nonzero(array))
+        if nnz <= SPARSE_DENSITY_CUTOFF * array.size:
+            indices, values = sparse_from_dense(array)
+            return (
+                bytes([SPARSE_MATRIX])
+                + _U32.pack(width)
+                + _U64.pack(indices.size)
+                + np.ascontiguousarray(indices, _INT).tobytes()
+                + np.ascontiguousarray(values, _FLOAT).tobytes()
+            )
+    return (
+        bytes([FLOAT_MATRIX])
+        + _U32.pack(width)
+        + np.ascontiguousarray(array, _FLOAT).tobytes()
+    )
+
+
+def _encode_payload(name: str, payload: Any, count: int, version: int) -> bytes:
     """Serialize one attribute payload as ``family tag + body``."""
     if isinstance(payload, OlhReports):
         seeds = np.ascontiguousarray(payload.seeds, dtype=_INT)
@@ -93,6 +173,13 @@ def _encode_payload(name: str, payload: Any, count: int) -> bytes:
             raise WireFormatError(
                 "attribute %r: payload has %d rows but count is %d"
                 % (name, array.shape[0], count)
+            )
+        if version >= 2:
+            narrow = narrowest_int_dtype(array)
+            return (
+                bytes([INT_VECTOR])
+                + _U8.pack(narrow.itemsize)
+                + np.ascontiguousarray(array, narrow).tobytes()
             )
         return bytes([INT_VECTOR]) + np.ascontiguousarray(array, _INT).tobytes()
     if np.issubdtype(array.dtype, np.floating):
@@ -111,18 +198,18 @@ def _encode_payload(name: str, payload: Any, count: int) -> bytes:
                     "attribute %r: payload has %d rows but count is %d"
                     % (name, array.shape[0], count)
                 )
-            return (
-                bytes([FLOAT_MATRIX])
-                + _U32.pack(array.shape[1])
-                + np.ascontiguousarray(array, _FLOAT).tobytes()
-            )
+            return _encode_float_matrix(name, array, version)
     raise WireFormatError(
         "attribute %r: no wire family for payload of type %s"
         % (name, type(payload).__name__)
     )
 
 
-def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
+def encode_batch(
+    batch: Any,
+    contract: CollectionContract,
+    version: int = WIRE_VERSION,
+) -> bytes:
     """Encode a :class:`~repro.session.ReportBatch` under ``contract``.
 
     The contract's digest is embedded in the frame header; decoders
@@ -130,6 +217,11 @@ def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
     Raises :class:`WireFormatError` if ``batch`` is not a
     :class:`~repro.session.ReportBatch` at all, or if it names attributes
     or protocols outside the contract.
+
+    ``version`` selects the frame version (default: the current
+    :data:`WIRE_VERSION`). Version 1 emits only the four original dense
+    families — byte-identical to the v1 encoder — which keeps old
+    decoders, stored frames and the golden back-compat fixture honest.
     """
     from ..session.client import ReportBatch
 
@@ -138,10 +230,15 @@ def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
             "encode_batch expects a repro.session.ReportBatch, got %s"
             % type(batch).__name__
         )
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise WireFormatError(
+            "cannot encode wire version %r (this build speaks %s)"
+            % (version, ", ".join(map(str, SUPPORTED_WIRE_VERSIONS)))
+        )
     expected = dict(zip(contract.schema.names, contract.protocols))
     parts = [
         _HEADER.pack(
-            MAGIC, WIRE_VERSION, contract.digest, batch.users, len(batch.payloads)
+            MAGIC, version, contract.digest, batch.users, len(batch.payloads)
         )
     ]
     for name, payload in batch.payloads.items():
@@ -160,7 +257,7 @@ def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
         count = int(batch.counts[name])
         name_bytes = name.encode("utf-8")
         protocol_bytes = protocol.encode("utf-8")
-        body = _encode_payload(name, payload, count)
+        body = _encode_payload(name, payload, count, version)
         parts.append(
             _ATTR_HEAD.pack(len(name_bytes), len(protocol_bytes), count, body[0])
         )
@@ -177,13 +274,19 @@ def encode_batch(batch: Any, contract: CollectionContract) -> bytes:
 
 
 class _Reader:
-    """Bounds-checked cursor over an immutable byte buffer."""
+    """Bounds-checked cursor over an immutable byte buffer.
 
-    def __init__(self, data: bytes) -> None:
+    The reader never copies: :meth:`take` hands back ``memoryview``
+    slices and :meth:`array` wraps them in read-only
+    :func:`numpy.frombuffer` views, so decoded payloads alias the frame
+    buffer (and keep it alive through their ``.base``).
+    """
+
+    def __init__(self, data: memoryview) -> None:
         self.data = data
         self.offset = 0
 
-    def take(self, size: int, what: str) -> bytes:
+    def take(self, size: int, what: str) -> memoryview:
         if size < 0 or self.offset + size > len(self.data):
             raise WireFormatError(
                 "truncated wire batch: needed %d bytes for %s at offset %d "
@@ -199,14 +302,19 @@ class _Reader:
 
     def array(self, dtype: np.dtype, count: int, what: str) -> np.ndarray:
         raw = self.take(count * dtype.itemsize, what)
-        return np.frombuffer(raw, dtype=dtype).copy()
+        view = np.frombuffer(raw, dtype=dtype)
+        if view.flags.writeable:  # mutable source buffer (e.g. bytearray)
+            view.flags.writeable = False
+        return view
 
     @property
     def exhausted(self) -> bool:
         return self.offset == len(self.data)
 
 
-def _decode_payload(reader: _Reader, family: int, count: int, name: str) -> Any:
+def _decode_payload(
+    reader: _Reader, family: int, count: int, name: str, version: int
+) -> Any:
     """Deserialize one attribute payload of the given family."""
     if family == FLOAT_VECTOR:
         return reader.array(_FLOAT, count, "attribute %r values" % name)
@@ -221,30 +329,169 @@ def _decode_payload(reader: _Reader, family: int, count: int, name: str) -> Any:
         )
         return values.reshape(count, width)
     if family == INT_VECTOR:
-        return reader.array(_INT, count, "attribute %r labels" % name)
+        if version < 2:
+            return reader.array(_INT, count, "attribute %r labels" % name)
+        (itemsize,) = reader.unpack(_U8, "attribute %r label width" % name)
+        dtype = int_dtype_for_width(itemsize, name)
+        values = reader.array(dtype, count, "attribute %r labels" % name)
+        if dtype.itemsize == _INT.itemsize:
+            return values
+        return values.astype(np.int64)
     if family == OLH_REPORTS:
         seeds = reader.array(_INT, count * 2, "attribute %r seeds" % name)
         buckets = reader.array(_INT, count, "attribute %r buckets" % name)
         return OlhReports(seeds=seeds.reshape(count, 2), buckets=buckets)
+    if family == BIT_MATRIX and version >= 2:
+        (width,) = reader.unpack(_U32, "attribute %r bit-matrix width" % name)
+        if width < 1:
+            raise WireFormatError(
+                "attribute %r: matrix width must be >= 1, got %d" % (name, width)
+            )
+        packed = reader.take(
+            count * packed_row_bytes(width),
+            "attribute %r packed bit matrix" % name,
+        )
+        return unpack_bit_matrix(packed, count, width, name)
+    if family == SPARSE_MATRIX and version >= 2:
+        (width,) = reader.unpack(_U32, "attribute %r sparse width" % name)
+        if width < 1:
+            raise WireFormatError(
+                "attribute %r: matrix width must be >= 1, got %d" % (name, width)
+            )
+        (nnz,) = reader.unpack(_U64, "attribute %r sparse entry count" % name)
+        if nnz > count * width:
+            raise WireFormatError(
+                "attribute %r: sparse block claims %d entries for a %dx%d "
+                "matrix" % (name, nnz, count, width)
+            )
+        indices = reader.array(_INT, nnz, "attribute %r sparse indices" % name)
+        values = reader.array(_FLOAT, nnz, "attribute %r sparse values" % name)
+        return dense_from_sparse(indices, values, count, width, name)
     raise WireFormatError(
         "attribute %r: unknown payload family %d" % (name, family)
     )
 
 
-def read_fingerprint(data: bytes) -> str:
-    """Peek the contract fingerprint of an encoded batch (hex form)."""
-    reader = _Reader(bytes(data))
-    magic, version, digest, _, _ = reader.unpack(_HEADER, "frame header")
+def _check_header(
+    magic: bytes, version: int
+) -> None:
     if magic != MAGIC:
         raise WireFormatError(
             "not a wire batch: bad magic %r (expected %r)" % (magic, MAGIC)
         )
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireFormatError(
-            "unsupported wire version %d (this build speaks %d)"
-            % (version, WIRE_VERSION)
+            "unsupported wire version %d (this build speaks %s)"
+            % (version, ", ".join(map(str, SUPPORTED_WIRE_VERSIONS)))
         )
+
+
+def read_fingerprint(data: bytes) -> str:
+    """Peek the contract fingerprint of an encoded batch (hex form).
+
+    Reads only the fixed-size frame header — no copy of the frame body
+    is ever made, so peeking stays O(1) however large the batch is.
+    """
+    view = memoryview(data)
+    if len(view) < _HEADER.size:
+        raise WireFormatError(
+            "truncated wire batch: needed %d bytes for frame header at "
+            "offset 0 but only %d remain" % (_HEADER.size, len(view))
+        )
+    magic, version, digest, _, _ = _HEADER.unpack_from(view)
+    _check_header(bytes(magic), version)
     return bytes(digest).hex()
+
+
+class AttributeBlock(NamedTuple):
+    """One parsed attribute block of a wire frame."""
+
+    name: str
+    protocol: str
+    count: int
+    payload: Any
+
+
+def iter_attribute_blocks(
+    data: bytes, contract: Optional[CollectionContract] = None
+) -> Tuple[int, Iterator[AttributeBlock]]:
+    """Open a frame for incremental decoding.
+
+    Validates everything frame-global eagerly — magic, version, CRC-32,
+    and (when ``contract`` is given) the embedded digest — then returns
+    ``(users, blocks)`` where ``blocks`` lazily parses one
+    :class:`AttributeBlock` at a time. A consumer such as
+    :class:`~repro.transport.CollectionGateway` validates each
+    attribute as its block is parsed instead of materializing a whole
+    :class:`~repro.session.ReportBatch` first; payloads are read-only
+    zero-copy views into ``data``.
+
+    The iterator raises :class:`~repro.exceptions.WireFormatError` on
+    malformed blocks, and checks for trailing bytes after yielding the
+    last block — fully draining it performs exactly the validation
+    :func:`decode_batch` does.
+    """
+    view = memoryview(data)
+    if len(view) < _HEADER.size + _CRC.size:
+        raise WireFormatError(
+            "truncated wire batch: %d bytes is shorter than the minimal "
+            "frame (%d)" % (len(view), _HEADER.size + _CRC.size)
+        )
+    reader = _Reader(view[: -_CRC.size])
+    magic, version, digest, users, n_attributes = reader.unpack(
+        _HEADER, "frame header"
+    )
+    _check_header(bytes(magic), version)
+    (stored_crc,) = _CRC.unpack(view[-_CRC.size :])
+    if zlib.crc32(reader.data) != stored_crc:
+        raise WireFormatError(
+            "corrupted wire batch: CRC-32 mismatch (bytes damaged in "
+            "transit or at rest)"
+        )
+    if contract is not None:
+        contract.require_digest(bytes(digest), "encoded batch")
+
+    from ..mechanisms.registry import resolve_protocol_name
+
+    def blocks() -> Iterator[AttributeBlock]:
+        seen = set()
+        for _ in range(n_attributes):
+            name_len, protocol_len, count, family = reader.unpack(
+                _ATTR_HEAD, "attribute header"
+            )
+            try:
+                name = bytes(
+                    reader.take(name_len, "attribute name")
+                ).decode("utf-8")
+                protocol = bytes(
+                    reader.take(protocol_len, "protocol name")
+                ).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireFormatError(
+                    "malformed attribute block: %s" % exc
+                ) from None
+            if not name or name in seen:
+                raise WireFormatError(
+                    "malformed attribute block: empty or duplicate name %r"
+                    % name
+                )
+            seen.add(name)
+            try:
+                protocol = resolve_protocol_name(protocol)
+            except KeyError as exc:
+                raise WireFormatError(
+                    "attribute %r reports an unresolvable protocol: %s"
+                    % (name, exc.args[0])
+                ) from None
+            payload = _decode_payload(reader, family, count, name, version)
+            yield AttributeBlock(name, protocol, count, payload)
+        if not reader.exhausted:
+            raise WireFormatError(
+                "malformed wire batch: %d trailing bytes after the last "
+                "attribute block" % (len(reader.data) - reader.offset)
+            )
+
+    return users, blocks()
 
 
 def decode_batch(
@@ -261,6 +508,13 @@ def decode_batch(
         otherwise :class:`~repro.exceptions.ContractMismatchError` is
         raised *before* any payload is interpreted.
 
+    The decoded payloads are read-only zero-copy views into ``data``
+    wherever the wire body already matches the in-memory representation
+    (float vectors/matrices, int64 lanes, OLH reports); compressed v2
+    families materialize their expanded form. The views keep the frame
+    buffer alive, and every fold path upstream treats payloads as
+    immutable, so nothing is ever copied on the gateway hot path.
+
     Raises
     ------
     WireFormatError
@@ -269,67 +523,14 @@ def decode_batch(
     """
     from ..session.client import ReportBatch
 
-    data = bytes(data)
-    if len(data) < _HEADER.size + _CRC.size:
-        raise WireFormatError(
-            "truncated wire batch: %d bytes is shorter than the minimal "
-            "frame (%d)" % (len(data), _HEADER.size + _CRC.size)
-        )
-    reader = _Reader(data[: -_CRC.size])
-    magic, version, digest, users, n_attributes = reader.unpack(
-        _HEADER, "frame header"
-    )
-    if magic != MAGIC:
-        raise WireFormatError(
-            "not a wire batch: bad magic %r (expected %r)" % (magic, MAGIC)
-        )
-    if version != WIRE_VERSION:
-        raise WireFormatError(
-            "unsupported wire version %d (this build speaks %d)"
-            % (version, WIRE_VERSION)
-        )
-    (stored_crc,) = _CRC.unpack(data[-_CRC.size :])
-    if zlib.crc32(reader.data) != stored_crc:
-        raise WireFormatError(
-            "corrupted wire batch: CRC-32 mismatch (bytes damaged in "
-            "transit or at rest)"
-        )
-    if contract is not None:
-        contract.require_digest(bytes(digest), "encoded batch")
-
-    from ..mechanisms.registry import resolve_protocol_name
-
+    users, blocks = iter_attribute_blocks(data, contract=contract)
     payloads: Dict[str, Any] = {}
     counts: Dict[str, int] = {}
     protocols: Dict[str, str] = {}
-    for _ in range(n_attributes):
-        name_len, protocol_len, count, family = reader.unpack(
-            _ATTR_HEAD, "attribute header"
-        )
-        try:
-            name = reader.take(name_len, "attribute name").decode("utf-8")
-            protocol = reader.take(protocol_len, "protocol name").decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise WireFormatError("malformed attribute block: %s" % exc) from None
-        if not name or name in payloads:
-            raise WireFormatError(
-                "malformed attribute block: empty or duplicate name %r" % name
-            )
-        try:
-            protocol = resolve_protocol_name(protocol)
-        except KeyError as exc:
-            raise WireFormatError(
-                "attribute %r reports an unresolvable protocol: %s"
-                % (name, exc.args[0])
-            ) from None
-        payloads[name] = _decode_payload(reader, family, count, name)
-        counts[name] = count
-        protocols[name] = protocol
-    if not reader.exhausted:
-        raise WireFormatError(
-            "malformed wire batch: %d trailing bytes after the last "
-            "attribute block" % (len(reader.data) - reader.offset)
-        )
+    for block in blocks:
+        payloads[block.name] = block.payload
+        counts[block.name] = block.count
+        protocols[block.name] = block.protocol
     return ReportBatch(
         users=users, payloads=payloads, counts=counts, protocols=protocols
     )

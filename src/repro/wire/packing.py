@@ -1,0 +1,177 @@
+"""Bit/sparse/narrow-int payload packing for wire format v2.
+
+These helpers implement the compressed payload families introduced by
+wire version 2 (see :mod:`repro.wire.codec`):
+
+* **Bit matrices** — OUE reports are ``(k, v)`` float64 matrices whose
+  entries are exactly ``0.0`` or ``1.0``; serializing them as float64
+  spends 64 bits per bit of information. :func:`pack_bit_matrix` packs
+  each row into ``ceil(v / 8)`` bytes via :func:`numpy.packbits`;
+  :func:`unpack_bit_matrix` restores the *exact* float64 matrix, so the
+  decoded batch folds into estimates bit-identical to the original.
+  Padding bits past column ``v`` must be zero — a decoder rejects
+  non-canonical padding rather than silently ignoring it.
+
+* **Sparse matrices** — low-density float matrices travel as sorted
+  ``(flat index, value)`` pairs (the ``STRUCT<index, value>`` shape used
+  by production one-hot encoders). :func:`sparse_from_dense` /
+  :func:`dense_from_sparse` convert losslessly; the decoder enforces
+  strictly increasing in-range indices and non-zero values so every
+  sparse block has exactly one canonical encoding.
+
+* **Narrow integers** — GRR labels live in ``[0, v)`` but v1 shipped
+  them as int64. :func:`narrowest_int_dtype` picks the narrowest signed
+  dtype that holds a payload's actual range, an 8× saving for any
+  domain below 128 categories.
+
+All round-trips are exact: ``unpack(pack(x))`` compares equal to ``x``
+element for element *and* in dtype, which is what keeps the wire format
+invisible to the bit-identity guarantees upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import WireFormatError
+
+#: Fraction of entries below which a float matrix travels as
+#: ``(index, value)`` pairs. One sparse entry costs 16 bytes (u64 index
+#: + f8 value) against 8 bytes dense, so 0.25 guarantees the sparse
+#: block is at most half the dense block before it is chosen.
+SPARSE_DENSITY_CUTOFF = 0.25
+
+#: Signed widths a v2 ``INT_VECTOR`` may use, narrowest first.
+INT_WIDTHS = (1, 2, 4, 8)
+
+_INT_DTYPES = {width: np.dtype("<i%d" % width) for width in INT_WIDTHS}
+
+
+def is_bit_matrix(matrix: np.ndarray) -> bool:
+    """True when every entry of a float matrix is exactly 0.0 or 1.0."""
+    return bool(((matrix == 0.0) | (matrix == 1.0)).all())
+
+
+def packed_row_bytes(width: int) -> int:
+    """Bytes per packed row for a bit matrix of ``width`` columns."""
+    return (int(width) + 7) // 8
+
+
+def pack_bit_matrix(matrix: np.ndarray) -> bytes:
+    """Pack a 0/1 float matrix into row-major bits (big-endian per byte).
+
+    Row ``i`` occupies bytes ``[i * ceil(v/8), (i+1) * ceil(v/8))``; the
+    final byte of each row is zero-padded past column ``v``. The caller
+    is responsible for having checked :func:`is_bit_matrix`.
+    """
+    bits = np.ascontiguousarray(matrix, dtype=np.uint8)
+    return np.packbits(bits, axis=1).tobytes()
+
+
+def unpack_bit_matrix(buffer, count: int, width: int, name: str) -> np.ndarray:
+    """Restore the exact float64 0/1 matrix from packed row bits.
+
+    Raises :class:`~repro.exceptions.WireFormatError` when any padding
+    bit past column ``width`` is set — a canonical encoder always leaves
+    them zero, so a set padding bit means the block was damaged or
+    produced by a non-conforming encoder.
+    """
+    row_bytes = packed_row_bytes(width)
+    packed = np.frombuffer(buffer, dtype=np.uint8).reshape(count, row_bytes)
+    bits = np.unpackbits(packed, axis=1)
+    if width < row_bytes * 8 and bits[:, width:].any():
+        raise WireFormatError(
+            "attribute %r: packed bit matrix has set padding bits past "
+            "column %d" % (name, width)
+        )
+    return bits[:, :width].astype(np.float64)
+
+
+def sparse_from_dense(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical sparse form: sorted flat indices + their values.
+
+    Indices are row-major positions into the flattened matrix, strictly
+    increasing; values are the non-zero entries in the same order.
+    """
+    flat = np.ascontiguousarray(matrix, dtype=np.float64).ravel()
+    indices = np.flatnonzero(flat).astype(np.int64)
+    return indices, flat[indices]
+
+
+def dense_from_sparse(
+    indices: np.ndarray,
+    values: np.ndarray,
+    count: int,
+    width: int,
+    name: str,
+) -> np.ndarray:
+    """Rebuild the dense float64 matrix, rejecting non-canonical blocks.
+
+    Strictness mirrors the rest of the decoder: indices must be strictly
+    increasing (which also rules out duplicates), every index must land
+    inside the ``count * width`` matrix, and explicit zeros are refused —
+    a canonical encoder never emits them, so one signals damage.
+    """
+    total = int(count) * int(width)
+    if indices.size:
+        if int(indices[0]) < 0 or int(indices[-1]) >= total:
+            raise WireFormatError(
+                "attribute %r: sparse index out of range for a %dx%d "
+                "matrix" % (name, count, width)
+            )
+        if indices.size > 1 and not bool((np.diff(indices) > 0).all()):
+            raise WireFormatError(
+                "attribute %r: sparse indices must be strictly increasing"
+                % name
+            )
+        if bool((values == 0.0).any()):
+            raise WireFormatError(
+                "attribute %r: sparse block stores an explicit zero value"
+                % name
+            )
+    dense = np.zeros(total, dtype=np.float64)
+    dense[indices] = values
+    return dense.reshape(count, width)
+
+
+def narrowest_int_dtype(values: np.ndarray) -> np.dtype:
+    """Narrowest little-endian signed dtype holding every value exactly."""
+    if values.size == 0:
+        return _INT_DTYPES[1]
+    lo = int(values.min())
+    hi = int(values.max())
+    for width in INT_WIDTHS:
+        info = np.iinfo(_INT_DTYPES[width])
+        if info.min <= lo and hi <= info.max:
+            return _INT_DTYPES[width]
+    raise WireFormatError(
+        "integer payload range [%d, %d] does not fit a signed 64-bit "
+        "lane" % (lo, hi)
+    )
+
+
+def int_dtype_for_width(itemsize: int, name: str) -> np.dtype:
+    """Map a wire ``itemsize`` byte back to its dtype (decoder side)."""
+    try:
+        return _INT_DTYPES[int(itemsize)]
+    except (KeyError, ValueError):
+        raise WireFormatError(
+            "attribute %r: invalid integer lane width %r (expected one "
+            "of %s)" % (name, itemsize, ", ".join(map(str, INT_WIDTHS)))
+        ) from None
+
+
+__all__ = [
+    "SPARSE_DENSITY_CUTOFF",
+    "INT_WIDTHS",
+    "dense_from_sparse",
+    "int_dtype_for_width",
+    "is_bit_matrix",
+    "narrowest_int_dtype",
+    "pack_bit_matrix",
+    "packed_row_bytes",
+    "sparse_from_dense",
+    "unpack_bit_matrix",
+]

@@ -37,6 +37,7 @@ from repro.federation import (
     federation_checkpoint_document,
     parse_federation_checkpoint,
     serve_root,
+    state_dict_delta,
 )
 from repro.session import (
     CategoricalAttribute,
@@ -121,10 +122,12 @@ class TestStatePushCodec:
         payload = encode_state_push(
             server.state_dict(), {"frames_accepted": 1}
         )
-        state, counters = decode_state_push(payload, server.contract)
-        assert counters == {"frames_accepted": 1}
+        push = decode_state_push(payload, server.contract)
+        assert push.counters == {"frames_accepted": 1}
+        assert push.kind == "snapshot"
+        assert push.base_epoch == 0
         restored = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
-        restored.load_state_dict(state)
+        restored.load_state_dict(push.state)
         _assert_estimates_equal(server.estimate(), restored.estimate())
 
     def test_crc_seal_catches_corruption(self):
@@ -179,6 +182,201 @@ class TestStatePushCodec:
             )
         with pytest.raises(WireFormatError, match="state_dict"):
             encode_state_push({"no": "fingerprint"})
+
+
+class TestDeltaPushes:
+    """Delta pushes: exact difference upstream, exact merge at the root."""
+
+    def _grown_pair(self, seed=40):
+        server = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+        frames = _frames(seed=seed)
+        server.ingest_encoded(frames[0])
+        previous = server.state_dict()
+        for frame in frames[1:]:
+            server.ingest_encoded(frame)
+        return server, previous, server.state_dict()
+
+    def test_delta_merges_back_to_current_exactly(self):
+        server, previous, current = self._grown_pair()
+        delta = state_dict_delta(current, previous)
+        merged = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+        merged.load_state_dict(previous)
+        merged.merge_state_dict(delta)
+        assert merged.state_dict() == current
+        _assert_estimates_equal(server.estimate(), merged.estimate())
+
+    def test_delta_refuses_non_prefix_and_foreign_pairs(self):
+        _, previous, current = self._grown_pair()
+        with pytest.raises(ValueError, match="prefix|users"):
+            state_dict_delta(previous, current)  # swapped: users go down
+        foreign = LDPServer(SCHEMA, epsilon=9.0, protocols=SPEC)
+        with pytest.raises(ValueError, match="fingerprint|round"):
+            state_dict_delta(current, foreign.state_dict())
+        with pytest.raises(ValueError, match="differs|malformed|mapping"):
+            state_dict_delta(current, {"format": current["format"]})
+        truncated = {
+            key: current[key]
+            for key in ("format", "state_version", "fingerprint")
+        }
+        with pytest.raises(ValueError, match="malformed"):
+            state_dict_delta(current, truncated)
+
+    def test_push_kind_validation(self):
+        _, _, current = self._grown_pair()
+        contract = _contract()
+        with pytest.raises(WireFormatError, match="kind"):
+            encode_state_push(current, kind="increment")
+        with pytest.raises(WireFormatError, match="base"):
+            encode_state_push(current, kind="delta", base_epoch=0)
+        with pytest.raises(WireFormatError, match="base"):
+            encode_state_push(current, kind="snapshot", base_epoch=3)
+        push = decode_state_push(
+            encode_state_push(current, kind="delta", base_epoch=4), contract
+        )
+        assert (push.kind, push.base_epoch) == ("delta", 4)
+
+    def test_v2_payload_is_much_smaller_than_v1(self):
+        """The v2 token + zlib transform cuts push bytes ~4x, losslessly."""
+        import json
+        import struct
+        import zlib
+
+        _, _, current = self._grown_pair()
+        contract = _contract()
+        v2 = encode_state_push(current)
+        blob = json.dumps(
+            {
+                "format": "repro-federation-state-push",
+                "push_version": 1,
+                "fingerprint": contract.fingerprint,
+                "state": current,
+                "counters": {},
+            },
+            sort_keys=True,
+        ).encode()
+        v1 = struct.pack("<I", zlib.crc32(blob) & 0xFFFFFFFF) + blob
+        assert len(v2) * 3 < len(v1)
+        assert decode_state_push(v2, contract).state == current
+        assert decode_state_push(v1, contract).state == current
+
+    def test_malformed_accumulator_tokens_refused(self):
+        import json
+        import struct
+        import zlib
+
+        _, _, current = self._grown_pair()
+        contract = _contract()
+        for token in ("12p3", "0x1", "1pp2", "1p-4", "zzp3", ""):
+            damaged = json.loads(json.dumps(current))
+            damaged["attributes"]["a"]["sums"]["sums"] = [token]
+            blob = zlib.compress(
+                json.dumps(
+                    {
+                        "format": "repro-federation-state-push",
+                        "push_version": 2,
+                        "fingerprint": contract.fingerprint,
+                        "kind": "snapshot",
+                        "base_epoch": 0,
+                        "state": damaged,
+                        "counters": {},
+                    },
+                    sort_keys=True,
+                ).encode()
+            )
+            payload = struct.pack("<I", zlib.crc32(blob) & 0xFFFFFFFF) + blob
+            if token == "12p3":  # well-formed token: decodes to 0x12 << 3
+                push = decode_state_push(payload, contract)
+                assert push.state["attributes"]["a"]["sums"]["sums"] == [144]
+            else:
+                with pytest.raises(WireFormatError, match="token"):
+                    decode_state_push(payload, contract)
+
+    def test_root_applies_delta_bit_identically(self):
+        async def scenario():
+            root = await _root()
+            server = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+            frames = _frames(seed=41)
+            server.ingest_encoded(frames[0])
+            previous = server.state_dict()
+            async with await StatePusher.connect(
+                "127.0.0.1", root.port, server.contract, _edge_id(1)
+            ) as pusher:
+                assert await pusher.push(previous) == 1
+                for frame in frames[1:]:
+                    server.ingest_encoded(frame)
+                delta = state_dict_delta(server.state_dict(), previous)
+                epoch = await pusher.push(
+                    delta, kind="delta", base_epoch=1
+                )
+                assert epoch == 2
+                assert pusher.acked_epoch == 2
+            await root.stop()
+            return root, [frames]
+
+        root, frame_lists = asyncio.run(scenario())
+        assert root.deltas_applied == 1
+        assert root.pushes_accepted == 2
+        _assert_estimates_equal(_reference(frame_lists), root.estimate())
+
+    def test_root_refuses_delta_on_wrong_or_missing_base(self):
+        async def scenario():
+            root = await _root()
+            server = LDPServer(SCHEMA, EPSILON, protocols=SPEC)
+            server.ingest_encoded(_frames(seed=42)[0])
+            state = server.state_dict()
+            delta = state_dict_delta(state, state)
+            # no snapshot on record yet: any delta is unappliable
+            pusher = await StatePusher.connect(
+                "127.0.0.1", root.port, server.contract, _edge_id(1)
+            )
+            with pytest.raises(WireFormatError, match="no state"):
+                await pusher.push(delta, kind="delta", base_epoch=1)
+            # root folded epoch 1; a delta naming another base is refused
+            async with await StatePusher.connect(
+                "127.0.0.1", root.port, server.contract, _edge_id(1)
+            ) as good:
+                await good.push(state)
+            pusher = await StatePusher.connect(
+                "127.0.0.1", root.port, server.contract, _edge_id(1)
+            )
+            with pytest.raises(WireFormatError, match="full snapshot"):
+                await pusher.push(delta, kind="delta", base_epoch=7)
+            await root.stop()
+            return root
+
+        root = asyncio.run(scenario())
+        assert root.pushes_rejected == 2
+        assert root.deltas_applied == 0
+
+    def test_edge_ships_deltas_then_falls_back_after_reconnect(self):
+        """An edge's steady state is deltas; a lost ack forces a snapshot."""
+
+        async def scenario():
+            root = await _root()
+            # no automatic push trigger: this test drives pushes by hand
+            edge = await _edge(root.port, edge_id=_edge_id(9))
+            frames = _frames(seed=43)
+            await replay_frames(
+                "127.0.0.1", edge.port, root.contract, frames, _sender_id(1)
+            )
+            await edge.gateway.drain()
+            first = await edge.push_now()
+            second = await edge.push_now()  # same connection: delta
+            assert second == first + 1
+            deltas_before = edge.delta_pushes
+            # simulate an edge that lost its base (crash-restart)
+            edge._base_state = None
+            edge._base_epoch = 0
+            await edge.push_now()  # full snapshot again, still folded
+            await edge.stop()
+            await root.stop()
+            return root, edge, deltas_before, [frames]
+
+        root, edge, deltas_before, frame_lists = asyncio.run(scenario())
+        assert deltas_before >= 1
+        assert root.deltas_applied == edge.delta_pushes
+        assert root.pushes_rejected == 0
+        _assert_estimates_equal(_reference(frame_lists), root.estimate())
 
 
 class TestFederationCheckpointCodec:

@@ -116,6 +116,43 @@ class TestOLH:
             oracle.estimate(reports, chunk=100_000),
         )
 
+    def test_support_counts_match_per_user_reference(self, rng):
+        """The broadcast grid must reproduce the definitional counts
+        ``Σ_i 1[H(seed_i, j) = bucket_i]`` exactly (int64, not approx)."""
+        from repro.freq_oracles.olh import _hash_buckets
+
+        oracle = OptimizedLocalHashing(1.0, 9)
+        reports = oracle.privatize(rng.integers(0, 9, 700), rng)
+        expected = np.zeros(9, dtype=np.int64)
+        for i in range(reports.buckets.size):
+            for j in range(9):
+                hashed = _hash_buckets(
+                    reports.seeds[i : i + 1],
+                    np.array([j], dtype=np.int64),
+                    oracle.n_buckets,
+                )
+                expected[j] += int(hashed[0] == reports.buckets[i])
+        counts = oracle.support_counts(reports, chunk=256)
+        assert counts.dtype == np.int64
+        assert np.array_equal(counts, expected)
+
+    def test_support_counts_allocation_shape(self, rng, monkeypatch):
+        """Regression: counting must broadcast, never materialize the
+        flat ``(chunk * v,)`` repeat/tile temporaries it used to build."""
+        oracle = OptimizedLocalHashing(1.0, 50)
+        labels = rng.integers(0, 50, 2000)
+        reports = oracle.privatize(labels, rng)
+        baseline = oracle.support_counts(reports)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("support_counts materialized a flat copy")
+
+        import repro.freq_oracles.olh as olh_module
+
+        monkeypatch.setattr(olh_module.np, "repeat", forbidden)
+        monkeypatch.setattr(olh_module.np, "tile", forbidden)
+        assert np.array_equal(oracle.support_counts(reports), baseline)
+
 
 class TestAccuracy:
     @pytest.mark.parametrize("name", ORACLE_NAMES)

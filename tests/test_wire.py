@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+import struct
+import zlib
+
 import numpy as np
 import pytest
 
@@ -17,10 +22,12 @@ from repro.session import (
 )
 from repro.wire import (
     MAGIC,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
     CollectionContract,
     decode_batch,
     encode_batch,
+    iter_attribute_blocks,
     read_fingerprint,
 )
 
@@ -247,4 +254,391 @@ class TestRegistryNames:
     def test_wire_constants_stable(self):
         # Changing these breaks persisted frames; bump deliberately.
         assert MAGIC == b"LDPW"
-        assert WIRE_VERSION == 1
+        assert WIRE_VERSION == 2
+        assert SUPPORTED_WIRE_VERSIONS == (1, 2)
+        # Family tags are wire constants too: persisted v2 frames break
+        # if any of these move.
+        from repro.wire import (
+            BIT_MATRIX,
+            FLOAT_MATRIX,
+            FLOAT_VECTOR,
+            INT_VECTOR,
+            OLH_REPORTS,
+            SPARSE_MATRIX,
+        )
+
+        assert (
+            FLOAT_VECTOR,
+            FLOAT_MATRIX,
+            INT_VECTOR,
+            OLH_REPORTS,
+            BIT_MATRIX,
+            SPARSE_MATRIX,
+        ) == (0, 1, 2, 3, 4, 5)
+
+
+# ---------------------------------------------------------------------------
+# Wire format v2: compressed families, zero-copy views, back-compat
+# ---------------------------------------------------------------------------
+
+_V2_HEADER = struct.Struct("<4sH16sQI")
+_V2_ATTR_HEAD = struct.Struct("<HHQB")
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
+
+
+def _manual_frame(contract, users, blocks, version=2):
+    """Assemble a frame by hand (valid CRC) for adversarial bodies.
+
+    ``blocks`` is a list of ``(name, protocol, count, body)`` where
+    ``body`` is the family tag byte followed by the family payload.
+    """
+    parts = [_V2_HEADER.pack(MAGIC, version, contract.digest, users, len(blocks))]
+    for name, protocol, count, body in blocks:
+        name_bytes = name.encode("utf-8")
+        protocol_bytes = protocol.encode("utf-8")
+        parts.append(
+            _V2_ATTR_HEAD.pack(len(name_bytes), len(protocol_bytes), count, body[0])
+        )
+        parts.append(name_bytes)
+        parts.append(protocol_bytes)
+        parts.append(body[1:])
+    frame = b"".join(parts)
+    return frame + struct.pack("<I", zlib.crc32(frame))
+
+
+def _sparse_body(width, indices, values, nnz=None):
+    from repro.wire import SPARSE_MATRIX
+
+    indices = np.asarray(indices, dtype="<i8")
+    values = np.asarray(values, dtype="<f8")
+    nnz = indices.size if nnz is None else nnz
+    return (
+        bytes([SPARSE_MATRIX])
+        + struct.pack("<I", width)
+        + struct.pack("<Q", nnz)
+        + indices.tobytes()
+        + values.tobytes()
+    )
+
+
+def _sparse_payload_batch():
+    """A batch whose histogram matrix is low-density → SPARSE_MATRIX."""
+    from repro.session import ReportBatch
+
+    matrix = np.zeros((6, 5))
+    matrix[0, 2] = 1.5
+    matrix[4, 1] = -0.75
+    return ReportBatch(
+        users=6,
+        payloads={"c": matrix},
+        counts={"c": 6},
+        protocols={"c": "piecewise"},
+    )
+
+
+class TestWireV2Families:
+    def test_oue_frame_at_least_8x_smaller_than_v1(self):
+        """The headline compression: OUE bit matrices pack 64× tighter,
+        bringing whole OUE frames under 1/8 of their v1 size."""
+        client = LDPClient(CATEGORICAL_ONLY, epsilon=1.0, protocols={"c": "oue"})
+        batch = client.report_batch(_records(CATEGORICAL_ONLY, 1000, 3), 3)
+        v2 = encode_batch(batch, client.contract)
+        v1 = encode_batch(batch, client.contract, version=1)
+        assert len(v2) * 8 <= len(v1)
+        assert np.array_equal(
+            decode_batch(v1, contract=client.contract).payloads["c"],
+            decode_batch(v2, contract=client.contract).payloads["c"],
+        )
+
+    def test_grr_labels_travel_narrow(self):
+        client = LDPClient(CATEGORICAL_ONLY, epsilon=1.0, protocols={"c": "grr"})
+        batch = client.report_batch(_records(CATEGORICAL_ONLY, 1000, 4), 4)
+        v2 = encode_batch(batch, client.contract)
+        v1 = encode_batch(batch, client.contract, version=1)
+        assert len(v2) < len(v1) / 4  # int8 lane vs int64
+        decoded = decode_batch(v2, contract=client.contract)
+        assert decoded.payloads["c"].dtype == np.int64
+        assert np.array_equal(decoded.payloads["c"], batch.payloads["c"])
+
+    @pytest.mark.parametrize("width", [1, 5, 8, 9, 16, 64, 65])
+    def test_bit_matrix_roundtrip_every_padding_shape(self, width):
+        rng = np.random.default_rng(width)
+        matrix = rng.integers(0, 2, size=(37, width)).astype(np.float64)
+        from repro.wire.codec import _Reader, _decode_payload, _encode_payload
+
+        body = _encode_payload("c", matrix, 37, 2)
+        from repro.wire import BIT_MATRIX
+
+        assert body[0] == BIT_MATRIX
+        reader = _Reader(memoryview(bytes(body[1:])))
+        out = _decode_payload(reader, body[0], 37, "c", 2)
+        assert reader.exhausted
+        assert out.dtype == np.float64
+        assert np.array_equal(out, matrix)
+
+    def test_sparse_matrix_roundtrip_exact(self):
+        batch = _sparse_payload_batch()
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = encode_batch(batch, client.contract)
+        from repro.wire import SPARSE_MATRIX
+
+        # The block really took the sparse family (tag byte is in-frame).
+        assert bytes([SPARSE_MATRIX]) in frame
+        decoded = decode_batch(frame, contract=client.contract)
+        assert decoded.payloads["c"].dtype == np.float64
+        assert np.array_equal(decoded.payloads["c"], batch.payloads["c"])
+
+    def test_dense_fallback_above_density_cutoff(self):
+        from repro.session import ReportBatch
+        from repro.wire import FLOAT_MATRIX
+        from repro.wire.codec import _encode_payload
+
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(20, 5))  # all-nonzero, not 0/1
+        body = _encode_payload("c", dense, 20, 2)
+        assert body[0] == FLOAT_MATRIX
+        batch = ReportBatch(
+            users=20,
+            payloads={"c": dense},
+            counts={"c": 20},
+            protocols={"c": "piecewise"},
+        )
+        client = LDPClient(MIXED, epsilon=1.0)
+        decoded = decode_batch(
+            encode_batch(batch, client.contract), contract=client.contract
+        )
+        assert np.array_equal(decoded.payloads["c"], dense)
+
+
+class TestWireV2Adversarial:
+    """Strictness of the new decoder surface, block by block."""
+
+    def _v2_frame(self):
+        """A v2 frame exercising BIT_MATRIX + FLOAT_VECTOR + INT_VECTOR."""
+        schema = Schema(
+            [
+                NumericAttribute("a"),
+                CategoricalAttribute("c", n_categories=11),
+            ]
+        )
+        client = LDPClient(schema, epsilon=1.0, protocols={"c": "oue"})
+        frame = client.encode(client.report_batch(_records(schema, 16, 9), 9))
+        return client, frame
+
+    def test_truncation_at_every_boundary(self):
+        """Exhaustive: cutting the frame anywhere raises the typed error —
+        which covers every new family's internal boundaries too."""
+        _, frame = self._v2_frame()
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                decode_batch(frame[:cut])
+
+    def test_bit_flip_at_every_position(self):
+        """CRC coverage: flips inside packed blocks are never folded."""
+        _, frame = self._v2_frame()
+        for position in range(len(frame)):
+            damaged = bytearray(frame)
+            damaged[position] ^= 0x10
+            with pytest.raises(WireFormatError):
+                decode_batch(bytes(damaged))
+
+    def test_corruption_inside_sparse_block(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = encode_batch(_sparse_payload_batch(), client.contract)
+        for position in range(len(frame) - 60, len(frame)):
+            damaged = bytearray(frame)
+            damaged[position] ^= 0x20
+            with pytest.raises(WireFormatError):
+                decode_batch(bytes(damaged))
+
+    def test_non_canonical_padding_bits_rejected(self):
+        from repro.wire import BIT_MATRIX
+
+        client = LDPClient(MIXED, epsilon=1.0)
+        # width 5 → 3 padding bits per row byte; set one.
+        body = bytes([BIT_MATRIX]) + struct.pack("<I", 5) + bytes([0b10101100])
+        frame = _manual_frame(
+            client.contract, 1, [("c", "piecewise", 1, body)]
+        )
+        with pytest.raises(WireFormatError, match="padding"):
+            decode_batch(frame, contract=client.contract)
+
+    def test_sparse_index_out_of_range(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        for bad in ([-1], [30], [2, 30]):
+            values = [1.0] * len(bad)
+            frame = _manual_frame(
+                client.contract,
+                6,
+                [("c", "piecewise", 6, _sparse_body(5, bad, values))],
+            )
+            with pytest.raises(WireFormatError, match="range|entries"):
+                decode_batch(frame, contract=client.contract)
+
+    def test_sparse_indices_must_increase(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        for bad in ([4, 2], [7, 7]):
+            frame = _manual_frame(
+                client.contract,
+                6,
+                [("c", "piecewise", 6, _sparse_body(5, bad, [1.0, 2.0]))],
+            )
+            with pytest.raises(WireFormatError, match="increasing"):
+                decode_batch(frame, contract=client.contract)
+
+    def test_sparse_explicit_zero_rejected(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = _manual_frame(
+            client.contract,
+            6,
+            [("c", "piecewise", 6, _sparse_body(5, [3], [0.0]))],
+        )
+        with pytest.raises(WireFormatError, match="zero"):
+            decode_batch(frame, contract=client.contract)
+
+    def test_sparse_entry_count_bounded_by_matrix(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        indices = list(range(31))
+        frame = _manual_frame(
+            client.contract,
+            6,
+            [("c", "piecewise", 6, _sparse_body(5, indices, [1.0] * 31))],
+        )
+        with pytest.raises(WireFormatError, match="entries"):
+            decode_batch(frame, contract=client.contract)
+
+    def test_invalid_int_lane_width_rejected(self):
+        from repro.wire import INT_VECTOR
+
+        client = LDPClient(CATEGORICAL_ONLY, epsilon=1.0, protocols={"c": "grr"})
+        body = bytes([INT_VECTOR]) + bytes([3]) + b"\0" * 6
+        frame = _manual_frame(client.contract, 2, [("c", "grr", 2, body)])
+        with pytest.raises(WireFormatError, match="width"):
+            decode_batch(frame, contract=client.contract)
+
+    def test_v2_families_refused_in_v1_frames(self):
+        """A frame claiming version 1 may not carry compressed families."""
+        from repro.wire import BIT_MATRIX
+
+        client = LDPClient(MIXED, epsilon=1.0)
+        body = bytes([BIT_MATRIX]) + struct.pack("<I", 5) + bytes([0b10100000])
+        frame = _manual_frame(
+            client.contract, 1, [("c", "piecewise", 1, body)], version=1
+        )
+        with pytest.raises(WireFormatError, match="family"):
+            decode_batch(frame, contract=client.contract)
+
+
+class TestWireVersioning:
+    def test_v1_frames_still_decode(self):
+        """Cross-version: yesterday's frames fold bit-identically."""
+        client = LDPClient(MIXED, epsilon=1.0, protocols={"c": "oue"})
+        batch = client.report_batch(_records(MIXED, 80, 11), 11)
+        v1 = encode_batch(batch, client.contract, version=1)
+        decoded = decode_batch(v1, contract=client.contract)
+        for name, payload in batch.payloads.items():
+            assert np.array_equal(np.asarray(payload), np.asarray(decoded.payloads[name]))
+            assert np.asarray(payload).dtype == np.asarray(decoded.payloads[name]).dtype
+
+    def test_v2_frames_carry_version_2_in_header(self):
+        """The field a v1 decoder checks (and refuses on) is bytes 4:6 —
+        a v2 frame announces itself there, so the existing version check
+        in any v1 build rejects it with its typed error."""
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = client.encode(client.report_batch(_records(MIXED, 10, 2), 2))
+        assert frame[:4] == MAGIC
+        assert frame[4:6] == (2).to_bytes(2, "little")
+
+    def test_future_versions_refused_typed(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = bytearray(client.encode(client.report_batch(_records(MIXED, 10, 2), 2)))
+        frame[4:6] = (3).to_bytes(2, "little")
+        with pytest.raises(WireFormatError, match="version"):
+            decode_batch(bytes(frame))
+        with pytest.raises(WireFormatError, match="version"):
+            read_fingerprint(bytes(frame))
+
+    def test_encode_refuses_unknown_version(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        batch = client.report_batch(_records(MIXED, 4, 1), 1)
+        with pytest.raises(WireFormatError, match="version"):
+            encode_batch(batch, client.contract, version=7)
+
+    def test_golden_v1_fixture_decodes(self):
+        """Back-compat cannot rot silently: a checked-in v1 frame must
+        keep decoding and folding to the recorded estimates."""
+        frame = (GOLDEN_DIR / "golden_v1_frame.bin").read_bytes()
+        expected = json.loads((GOLDEN_DIR / "golden_v1_frame.json").read_text())
+        schema = Schema(
+            [
+                NumericAttribute("a"),
+                CategoricalAttribute("c", n_categories=5),
+                CategoricalAttribute("g", n_categories=7),
+                CategoricalAttribute("h", n_categories=6),
+            ]
+        )
+        protocols = {"c": "oue", "g": "grr", "h": "olh"}
+        server = LDPServer(schema, epsilon=expected["epsilon"], protocols=protocols)
+        assert server.contract.fingerprint == expected["fingerprint"]
+        assert read_fingerprint(frame) == expected["fingerprint"]
+        server.ingest_encoded(frame)
+        estimate = server.estimate()
+        assert estimate.users == expected["users"]
+        raws = {
+            attr.name: [float(x).hex() for x in np.atleast_1d(attr.raw)]
+            for attr in estimate.attributes
+        }
+        assert raws == expected["raw_hex"]
+
+
+class TestZeroCopyDecode:
+    def test_payloads_are_read_only_views(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        frame = client.encode(client.report_batch(_records(MIXED, 50, 5), 5))
+        decoded = decode_batch(frame, contract=client.contract)
+        vector = decoded.payloads["a"]
+        assert not vector.flags.writeable
+        assert vector.base is not None  # aliases the frame buffer
+        with pytest.raises((ValueError, RuntimeError)):
+            vector[0] = 0.0
+
+    def test_views_survive_frame_reference_drop(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        decoded = decode_batch(
+            client.encode(client.report_batch(_records(MIXED, 50, 6), 6)),
+            contract=client.contract,
+        )
+        # The frame bytes object is unreferenced now; views keep it alive.
+        assert float(np.sum(decoded.payloads["a"])) == float(
+            np.sum(np.asarray(decoded.payloads["a"]))
+        )
+        server = LDPServer(MIXED, epsilon=1.0)
+        server.ingest(decoded)
+        assert server.users == 50
+
+    def test_iter_attribute_blocks_streams_validated_blocks(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        batch = client.report_batch(_records(MIXED, 30, 8), 8)
+        users, blocks = iter_attribute_blocks(
+            client.encode(batch), contract=client.contract
+        )
+        assert users == 30
+        seen = {}
+        for block in blocks:
+            assert block.count == batch.counts[block.name]
+            assert block.protocol == batch.protocols[block.name]
+            seen[block.name] = block.payload
+        assert set(seen) == set(batch.payloads)
+
+    def test_iter_attribute_blocks_rejects_internal_trailing_bytes(self):
+        client = LDPClient(MIXED, epsilon=1.0)
+        from repro.wire.codec import _encode_payload
+
+        body = _encode_payload("a", np.zeros(2), 2, 2)
+        frame = _manual_frame(
+            client.contract, 2, [("a", "piecewise", 2, body + b"xtra")]
+        )
+        users, blocks = iter_attribute_blocks(frame, contract=client.contract)
+        with pytest.raises(WireFormatError, match="trailing"):
+            list(blocks)
