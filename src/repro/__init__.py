@@ -72,8 +72,10 @@ from .exceptions import (
     DimensionError,
     DistributionError,
     DomainError,
+    ParameterError,
     PrivacyBudgetError,
     ReproError,
+    StateDeltaError,
     StorageError,
     TelemetryError,
     TransportError,
@@ -222,6 +224,7 @@ __all__ = [
     "OptimizedLocalHashing",
     "OptimizedUnaryEncoding",
     "PiecewiseMechanism",
+    "ParameterError",
     "PrivacyBudgetError",
     "ProximalGradientSolver",
     "RecalibrationResult",
@@ -235,6 +238,7 @@ __all__ = [
     "SqliteStore",
     "SquareWaveMechanism",
     "StaircaseMechanism",
+    "StateDeltaError",
     "StorageError",
     "TelemetryError",
     "TimeWeightedGauge",

@@ -1,6 +1,10 @@
-"""Utility metrics, density diagnostics and empirical LDP auditing."""
+"""Analysis tooling: utility metrics, density diagnostics, empirical LDP
+auditing — and the static AST invariant linter (``python -m repro.analysis``).
+"""
 
 from .audit import AuditResult, audit_mechanism
+from .linter import Analyzer, Finding, Rule, all_rules, resolve_rules
+from .rules import RULE_NAMES
 from .density import (
     EmpiricalDensity,
     GaussianFit,
@@ -18,7 +22,13 @@ from .metrics import (
 )
 
 __all__ = [
+    "Analyzer",
     "AuditResult",
+    "Finding",
+    "RULE_NAMES",
+    "Rule",
+    "all_rules",
+    "resolve_rules",
     "EmpiricalDensity",
     "GaussianFit",
     "UtilityReport",

@@ -1,0 +1,150 @@
+"""``python -m repro.analysis`` — run the invariant linter.
+
+Exit status: 0 when clean (after baseline subtraction), 1 when findings
+remain, 2 on usage errors. Examples::
+
+    python -m repro.analysis src                      # gate the library
+    python -m repro.analysis src --format json        # machine-readable
+    python -m repro.analysis tests --select broad-except,async-hygiene
+    python -m repro.analysis src --write-baseline .repro-analysis.json
+    python -m repro.analysis src --baseline .repro-analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from ..exceptions import ParameterError
+from .linter import (
+    Analyzer,
+    FileResult,
+    apply_baseline,
+    baseline_document,
+    load_baseline,
+    resolve_rules,
+)
+from .reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py") or os.path.isfile(path):
+            out.append(path)
+        else:
+            raise ParameterError("no such file or directory: %r" % path)
+    return out
+
+
+def _split_names(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter enforcing the repro stack's "
+        "exactness, RNG, error, asyncio, clock and wire contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        rules = resolve_rules(_split_names(args.select), _split_names(args.ignore))
+    except ParameterError as exc:
+        parser.error(str(exc))
+    if args.list_rules:
+        for rule in rules:
+            print("%-16s %s" % (rule.name, rule.summary))
+        return 0
+    try:
+        files = _iter_python_files(args.paths)
+    except ParameterError as exc:
+        parser.error(str(exc))
+    analyzer = Analyzer(rules)
+    results: List[FileResult] = [analyzer.run_file(path) for path in files]
+
+    if args.write_baseline:
+        findings = [f for result in results for f in result.findings]
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline_document(findings), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            "baseline: %d finding(s) grandfathered into %s"
+            % (len(findings), args.write_baseline)
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            parser.error("cannot read baseline %s: %s" % (args.baseline, exc))
+        for result in results:
+            result.findings = apply_baseline(result.findings, baseline)
+
+    report = render_json(results) if args.format == "json" else render_text(results)
+    print(report)
+    has_errors = any(result.error for result in results)
+    has_findings = any(result.findings for result in results)
+    if has_errors:
+        return 2
+    return 1 if has_findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,484 @@
+"""Single-pass AST invariant linter for the :mod:`repro` codebase.
+
+The test suite can only spot-check the contracts this reproduction is
+built on — exact big-integer accumulation, seeded randomness, the typed
+error hierarchy, asyncio task discipline. This module machine-enforces
+them on every commit: a dependency-free driver walks each file's
+:mod:`ast` once, dispatching every node to the registered rules
+(:mod:`repro.analysis.rules`) that declared interest in its type, and
+collects :class:`Finding` records.
+
+Design:
+
+* **Rule registry** — rules subclass :class:`Rule`, declare the node
+  types they inspect in ``node_types``, and register themselves with
+  :func:`register`. The driver builds a ``type -> [rules]`` dispatch
+  table so one traversal serves every rule (single pass per file).
+* **Context** — rules see a :class:`Context` carrying the file path,
+  dotted module name, an import alias table (so ``np.random.random``
+  resolves to ``numpy.random.random`` whatever numpy was imported as),
+  and the enclosing class/function scope stack.
+* **Suppressions** — a finding is silenced by ``# repro: allow[rule]
+  -- rationale`` on its line (or on a comment-only line directly
+  above). The rationale is mandatory: a bare allow, or one naming an
+  unknown rule, is itself reported under the ``bare-allow`` meta rule.
+* **Baseline** — :func:`load_baseline`/:func:`baseline_document`
+  grandfather existing findings by a line-content hash, so the gate
+  "no *new* findings" can be enforced before a tree is fully clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "Analyzer",
+    "Context",
+    "Finding",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "baseline_document",
+    "load_baseline",
+    "register",
+    "resolve_rules",
+]
+
+#: Matches the suppression comment grammar (spelled out in the module
+#: docstring above; not repeated here literally or this file would parse
+#: its own documentation as a suppression).
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<rationale>.*\S))?"
+)
+
+#: Meta rule id for malformed suppression comments (see :class:`Analyzer`).
+BARE_ALLOW = "bare-allow"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line, for reports and baseline hashing.
+    snippet: str = ""
+
+    def render(self) -> str:
+        return "%s:%d:%d: [%s] %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def baseline_key(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes the *content* of the offending line rather than its
+        number, so unrelated edits above a grandfathered finding do not
+        un-grandfather it.
+        """
+        digest = hashlib.sha256(self.snippet.encode("utf-8")).hexdigest()[:16]
+        return "%s:%s:%s" % (self.path, self.rule, digest)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    rationale: str
+    standalone: bool  # True when the line holds nothing but the comment
+
+
+class Context:
+    """Per-file state shared by every rule during the single pass."""
+
+    def __init__(self, path: str, module: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: Local name -> fully qualified module/object it refers to.
+        self.aliases: Dict[str, str] = {}
+        #: Enclosing ClassDef/FunctionDef/AsyncFunctionDef names, outermost first.
+        self.scope: List[str] = []
+        #: Depth of enclosing ``async def`` scopes (0 = synchronous code).
+        self.async_depth = 0
+        self._findings: List[Finding] = []
+        self._collect_aliases(tree)
+
+    # ------------------------------------------------------------- aliases
+
+    def _collect_aliases(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = "%s.%s" % (
+                        node.module,
+                        alias.name,
+                    )
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``np.random.random`` -> ``numpy.random.random``.
+
+        Returns ``None`` for anything not rooted in a plain name (calls,
+        subscripts, attribute chains off expressions).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------ reporting
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if line <= len(self.lines) else ""
+        self._findings.append(
+            Finding(rule.name, self.path, line, col, message, snippet)
+        )
+
+    @property
+    def in_function(self) -> bool:
+        return bool(self.scope)
+
+    def scope_name(self) -> str:
+        """Dotted enclosing scope, e.g. ``StreamingSum.merge`` ('' at module level)."""
+        return ".".join(self.scope)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``name`` (the kebab-case id used in ``--select`` and
+    ``allow[...]`` comments), ``summary`` (one line for ``--list-rules``
+    and the docs), and ``node_types`` (the AST classes they want to
+    see), then implement :meth:`check`.
+    """
+
+    name: str = ""
+    summary: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        raise NotImplementedError("rules must implement check()")
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.name:
+        raise ParameterError("rule classes must set a name")
+    if rule_class.name in _REGISTRY:
+        raise ParameterError("rule %r is already registered" % rule_class.name)
+    _REGISTRY[rule_class.name] = rule_class
+    return rule_class
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules by name (import :mod:`repro.analysis.rules` first)."""
+    from . import rules  # noqa: F401  (self-registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rule set (all registered rules by default)."""
+    registry = all_rules()
+    for name in list(select or []) + list(ignore or []):
+        if name not in registry and name != BARE_ALLOW:
+            raise ParameterError(
+                "unknown rule %r; known: %s" % (name, ", ".join(sorted(registry)))
+            )
+    chosen = select if select else sorted(registry)
+    return [registry[name]() for name in chosen if name not in set(ignore or [])]
+
+
+# ---------------------------------------------------------------- the driver
+
+
+class _Walker(ast.NodeVisitor):
+    """One traversal that feeds every rule and tracks scope state."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: Context) -> None:
+        self.ctx = ctx
+        self.dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self.dispatch.setdefault(node_type, []).append(rule)
+
+    def visit(self, node: ast.AST) -> None:
+        for rule in self.dispatch.get(type(node), ()):
+            rule.check(node, self.ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.ctx.scope.append(node.name)
+            if isinstance(node, ast.AsyncFunctionDef):
+                self.ctx.async_depth += 1
+            self.generic_visit(node)
+            if isinstance(node, ast.AsyncFunctionDef):
+                self.ctx.async_depth -= 1
+            self.ctx.scope.pop()
+        else:
+            self.generic_visit(node)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every ``# repro: allow[...]`` comment with its location.
+
+    Uses :mod:`tokenize` so string literals that merely *mention* the
+    grammar (this module's docstring, test fixtures) are not misread as
+    live suppressions.
+    """
+    suppressions: List[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for line_number, comment in comments:
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            continue
+        names = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        rationale = (match.group("rationale") or "").strip()
+        text = lines[line_number - 1] if line_number <= len(lines) else ""
+        standalone = text.strip().startswith("#")
+        suppressions.append(Suppression(line_number, names, rationale, standalone))
+    return suppressions
+
+
+@dataclass
+class FileResult:
+    """Findings for one analyzed file (after suppression filtering)."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    error: Optional[str] = None
+
+
+class Analyzer:
+    """Run a rule set over source files and apply the suppression policy."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def run_source(
+        self, source: str, path: str = "<memory>", module: str = ""
+    ) -> FileResult:
+        """Analyze one in-memory source blob (the unit tests' entry point)."""
+        result = FileResult(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            result.error = "syntax error: %s" % exc
+            return result
+        ctx = Context(path, module or _module_name(path), source, tree)
+        _Walker(self.rules, ctx).visit(tree)
+        raw = sorted(ctx._findings, key=lambda f: (f.line, f.col, f.rule))
+        suppressions = parse_suppressions(source)
+        active = {s.line: s for s in suppressions}
+        kept: List[Finding] = []
+        for finding in raw:
+            covering = _covering_suppression(finding, active, ctx.lines)
+            if covering is not None:
+                result.suppressed += 1
+            else:
+                kept.append(finding)
+        kept.extend(self._meta_findings(path, suppressions, ctx))
+        result.findings = sorted(kept, key=lambda f: (f.line, f.col, f.rule))
+        return result
+
+    def run_file(self, path: str) -> FileResult:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            result = FileResult(path)
+            result.error = "unreadable: %s" % exc
+            return result
+        return self.run_source(source, path)
+
+    def _meta_findings(
+        self, path: str, suppressions: Sequence[Suppression], ctx: Context
+    ) -> List[Finding]:
+        """Police the suppressions themselves (the ``bare-allow`` meta rule)."""
+        known = set(_REGISTRY)
+        out: List[Finding] = []
+        for suppression in suppressions:
+            snippet = (
+                ctx.lines[suppression.line - 1].strip()
+                if suppression.line <= len(ctx.lines)
+                else ""
+            )
+            if not suppression.rationale:
+                out.append(
+                    Finding(
+                        BARE_ALLOW,
+                        path,
+                        suppression.line,
+                        0,
+                        "suppression without a rationale; write "
+                        "'# repro: allow[%s] -- <why this is safe>'"
+                        % ", ".join(suppression.rules or ("rule",)),
+                        snippet,
+                    )
+                )
+            for name in suppression.rules:
+                if name not in known and name != BARE_ALLOW:
+                    out.append(
+                        Finding(
+                            BARE_ALLOW,
+                            path,
+                            suppression.line,
+                            0,
+                            "suppression names unknown rule %r" % name,
+                            snippet,
+                        )
+                    )
+            if not suppression.rules:
+                out.append(
+                    Finding(
+                        BARE_ALLOW,
+                        path,
+                        suppression.line,
+                        0,
+                        "suppression lists no rules",
+                        snippet,
+                    )
+                )
+        return out
+
+
+def _covering_suppression(
+    finding: Finding,
+    by_line: Mapping[int, Suppression],
+    lines: Sequence[str],
+) -> Optional[Suppression]:
+    """The suppression covering ``finding``.
+
+    Either an inline annotation on the finding's own line, or a
+    ``# repro: allow[...]`` anywhere in the contiguous comment block
+    directly above it (so multi-line rationales stay readable).
+    """
+    same = by_line.get(finding.line)
+    if same is not None and finding.rule in same.rules:
+        return same
+    line = finding.line - 1
+    while line >= 1 and line <= len(lines):
+        if not lines[line - 1].strip().startswith("#"):
+            break
+        candidate = by_line.get(line)
+        if (
+            candidate is not None
+            and candidate.standalone
+            and finding.rule in candidate.rules
+        ):
+            return candidate
+        line -= 1
+    return None
+
+
+def _module_name(path: str) -> str:
+    """Best-effort dotted module name from a file path."""
+    normalized = path.replace("\\", "/")
+    for anchor in ("/src/", "src/"):
+        index = normalized.find(anchor)
+        if index >= 0:
+            normalized = normalized[index + len(anchor):]
+            break
+    if normalized.endswith(".py"):
+        normalized = normalized[:-3]
+    return normalized.strip("/").replace("/", ".")
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def baseline_document(findings: Iterable[Finding]) -> Dict[str, Any]:
+    """A JSON-serializable baseline grandfathering ``findings``."""
+    keys: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        keys[key] = keys.get(key, 0) + 1
+    return {"format": "repro-analysis-baseline", "version": 1, "findings": keys}
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Parse a baseline file into its ``key -> allowed count`` map."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != "repro-analysis-baseline"
+        or not isinstance(document.get("findings"), dict)
+    ):
+        raise ParameterError("%s is not a repro-analysis baseline file" % path)
+    return {str(k): int(v) for k, v in document["findings"].items()}
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Mapping[str, int]
+) -> List[Finding]:
+    """Drop findings covered by the baseline (counted per identical line)."""
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            kept.append(finding)
+    return kept

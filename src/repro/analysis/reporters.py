@@ -1,0 +1,81 @@
+"""Human-readable and JSON reporters for analysis runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .linter import FileResult, Finding
+
+__all__ = ["render_json", "render_text", "summarize"]
+
+
+def summarize(results: Sequence[FileResult]) -> Dict[str, Any]:
+    """Aggregate counters over one run (used by both reporters)."""
+    findings = [finding for result in results for finding in result.findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "files": len(results),
+        "findings": len(findings),
+        "suppressed": sum(result.suppressed for result in results),
+        "errors": sorted(
+            "%s: %s" % (result.path, result.error)
+            for result in results
+            if result.error
+        ),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def render_text(results: Sequence[FileResult]) -> str:
+    """One ``path:line:col: [rule] message`` line per finding + a summary."""
+    lines: List[str] = []
+    for result in results:
+        if result.error:
+            lines.append("%s: ERROR %s" % (result.path, result.error))
+        for finding in result.findings:
+            lines.append(finding.render())
+            if finding.snippet:
+                lines.append("    %s" % finding.snippet)
+    summary = summarize(results)
+    if summary["findings"]:
+        per_rule = ", ".join(
+            "%s=%d" % pair for pair in summary["by_rule"].items()
+        )
+        lines.append(
+            "%d finding(s) in %d file(s) [%s]; %d suppressed"
+            % (
+                summary["findings"],
+                summary["files"],
+                per_rule,
+                summary["suppressed"],
+            )
+        )
+    else:
+        lines.append(
+            "clean: %d file(s), 0 findings, %d suppressed"
+            % (summary["files"], summary["suppressed"])
+        )
+    return "\n".join(lines)
+
+
+def render_json(results: Sequence[FileResult]) -> str:
+    """Machine-readable report: summary plus the full finding list."""
+    document = {
+        "format": "repro-analysis-report",
+        "version": 1,
+        "summary": summarize(results),
+        "findings": [
+            finding.as_dict()
+            for result in results
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def findings_of(results: Sequence[FileResult]) -> List[Finding]:
+    """Flatten a run into its finding list."""
+    return [finding for result in results for finding in result.findings]

@@ -1,0 +1,478 @@
+"""The project-specific invariant rules (see :mod:`repro.analysis.linter`).
+
+Each rule enforces one contract the reproduction's correctness rests on.
+The catalogue (rule id = the name used in ``--select`` and in
+``# repro: allow[...]`` suppressions):
+
+``global-rng``
+    All randomness flows through seeded :class:`numpy.random.Generator`
+    objects (``repro.rng.ensure_rng`` / explicit ``rng`` parameters).
+    Global-state draws — ``np.random.random()``, ``random.choice()`` —
+    silently break run-to-run reproducibility.
+``exact-arith``
+    Merge/fold/delta paths accumulate exactly (Python big ints). Float
+    arithmetic, true division or ``sum()``/``float()`` in those scopes
+    would make estimates depend on batching and shard order.
+``typed-errors``
+    Library code raises the :mod:`repro.exceptions` hierarchy, never
+    bare ``ValueError``/``RuntimeError``/``AssertionError``/``Exception``
+    (and never ``assert``, which vanishes under ``python -O``).
+``broad-except``
+    ``except Exception`` only with an explicit suppression naming the
+    poison/retry rationale; anything narrower should name its types.
+``async-hygiene``
+    Every ``create_task``/``ensure_future`` handle is retained (a
+    dropped handle is an uncancellable, silently-dying task), and no
+    blocking call (``time.sleep``, ``open``, subprocess, raw sockets)
+    runs inside ``async def``.
+``wall-clock``
+    Wall-clock reads go through the injectable
+    :func:`repro.telemetry.events.timestamp` (or an injected registry
+    clock) so tests and replays can pin time.
+``wire-constants``
+    Struct format strings live in module-level ``struct.Struct``
+    constants inside the wire/transport constant modules, and magic
+    bytes are defined exactly once — the wire layout has a single
+    source of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional, Tuple
+
+from .linter import Context, Rule, register
+
+__all__ = ["RULE_NAMES"]
+
+
+def _call_name(node: ast.Call, ctx: Context) -> Optional[str]:
+    return ctx.dotted_name(node.func)
+
+
+# --------------------------------------------------------------------- rng
+
+
+@register
+class GlobalRngRule(Rule):
+    """No global-state randomness; seeded ``Generator`` streams only."""
+
+    name = "global-rng"
+    summary = (
+        "randomness must flow through repro.rng.ensure_rng / an explicit "
+        "np.random.Generator, never module-level np.random.* or random.*"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    #: Constructors of seeded streams, fine anywhere.
+    _ALLOWED = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in self._ALLOWED:
+                        ctx.report(
+                            self,
+                            node,
+                            "import of global-state numpy.random.%s; draw "
+                            "from a seeded Generator instead" % alias.name,
+                        )
+            elif module == "random":
+                ctx.report(
+                    self,
+                    node,
+                    "import from the global-state random module; use "
+                    "repro.rng.ensure_rng and Generator methods",
+                )
+            return
+        dotted = _call_name(node, ctx) if isinstance(node, ast.Call) else None
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf not in self._ALLOWED:
+                ctx.report(
+                    self,
+                    node,
+                    "global-state %s call breaks reproducibility; draw from "
+                    "a seeded Generator (repro.rng.ensure_rng)" % dotted,
+                )
+        elif dotted.startswith("random.") and dotted.count(".") == 1:
+            ctx.report(
+                self,
+                node,
+                "stdlib %s call uses hidden global state; use "
+                "repro.rng.ensure_rng and Generator methods" % dotted,
+            )
+
+
+# ------------------------------------------------------------- exact paths
+
+
+@register
+class ExactArithmeticRule(Rule):
+    """Exact accumulator scopes must stay in integer arithmetic."""
+
+    name = "exact-arith"
+    summary = (
+        "no float arithmetic, true division, sum() or float() inside "
+        "merge/fold/delta accumulator paths — exactness is the invariant"
+    )
+    node_types = (ast.BinOp, ast.AugAssign, ast.Call)
+
+    #: A scope is an exact path when its function name mentions one of
+    #: the accumulator verbs. Class names alone do not opt a scope in.
+    _SCOPE = re.compile(r"(merge|fold|delta)", re.IGNORECASE)
+
+    _BANNED_CALLS = {
+        "sum": "the builtin float-accumulating sum()",
+        "float": "a float() conversion",
+        "math.fsum": "math.fsum()",
+        "numpy.sum": "numpy.sum()",
+        "numpy.mean": "numpy.mean()",
+        "numpy.add.reduce": "numpy.add.reduce()",
+    }
+
+    def _in_exact_scope(self, ctx: Context) -> bool:
+        return any(
+            self._SCOPE.search(part) is not None for part in ctx.scope
+        )
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if not self._in_exact_scope(ctx):
+            return
+        if isinstance(node, (ast.BinOp, ast.AugAssign)):
+            if isinstance(node.op, ast.Div):
+                ctx.report(
+                    self,
+                    node,
+                    "true division in an exact accumulator path produces a "
+                    "float; accumulate exactly and round once at the edge",
+                )
+                return
+        if isinstance(node, ast.BinOp):
+            for operand in (node.left, node.right):
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    ctx.report(
+                        self,
+                        node,
+                        "float literal in an exact accumulator path; keep "
+                        "merge/fold/delta arithmetic in exact integers",
+                    )
+                    return
+        if isinstance(node, ast.Call):
+            dotted = _call_name(node, ctx)
+            reason = self._BANNED_CALLS.get(dotted or "")
+            if reason is not None and (
+                dotted not in ("sum", "float")
+                or isinstance(node.func, ast.Name)
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    "%s in an exact accumulator path loses exactness; use "
+                    "big-int addition" % reason,
+                )
+
+
+# ------------------------------------------------------------ typed errors
+
+
+@register
+class TypedErrorRule(Rule):
+    """Library code fails through the :mod:`repro.exceptions` hierarchy."""
+
+    name = "typed-errors"
+    summary = (
+        "raise the repro error hierarchy, not bare ValueError/RuntimeError/"
+        "AssertionError/Exception, and never assert (stripped under -O)"
+    )
+    node_types = (ast.Raise, ast.Assert)
+
+    _BARE = {
+        "ValueError",
+        "RuntimeError",
+        "AssertionError",
+        "Exception",
+        "BaseException",
+    }
+
+    @staticmethod
+    def _is_test_file(ctx: Context) -> bool:
+        normalized = ctx.path.replace("\\", "/")
+        return "/tests/" in normalized or normalized.rsplit("/", 1)[-1].startswith(
+            "test_"
+        )
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if self._is_test_file(ctx):
+            return
+        if isinstance(node, ast.Assert):
+            ctx.report(
+                self,
+                node,
+                "assert vanishes under 'python -O'; raise a typed repro "
+                "error for real invariants",
+            )
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in self._BARE:
+            ctx.report(
+                self,
+                node,
+                "raise %s leaks an untyped error; raise the matching "
+                "repro.exceptions class (they subclass ValueError/"
+                "RuntimeError, so callers keep working)" % exc.id,
+            )
+
+
+# ------------------------------------------------------------ broad except
+
+
+@register
+class BroadExceptRule(Rule):
+    """``except Exception`` demands an annotated poison/retry rationale."""
+
+    name = "broad-except"
+    summary = (
+        "except Exception/BaseException/bare except only with an explicit "
+        "'# repro: allow[broad-except] -- <poison/retry rationale>'"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def _is_broad(self, annotation: Optional[ast.expr], ctx: Context) -> bool:
+        if annotation is None:
+            return True
+        if isinstance(annotation, ast.Tuple):
+            return any(self._is_broad(elt, ctx) for elt in annotation.elts)
+        dotted = ctx.dotted_name(annotation)
+        return dotted in ("Exception", "BaseException", "builtins.Exception")
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if self._is_broad(node.type, ctx):
+            what = "bare except:" if node.type is None else "except Exception"
+            ctx.report(
+                self,
+                node,
+                "%s swallows typed failures; narrow the catch or annotate "
+                "the poison/retry rationale" % what,
+            )
+
+
+# ----------------------------------------------------------------- asyncio
+
+
+@register
+class AsyncHygieneRule(Rule):
+    """No leaked tasks, no blocking calls on the event loop."""
+
+    name = "async-hygiene"
+    summary = (
+        "retain every create_task/ensure_future handle and keep blocking "
+        "calls (time.sleep, open, subprocess, raw sockets) out of async def"
+    )
+    node_types = (ast.Expr, ast.Call)
+
+    _SPAWNERS = ("asyncio.create_task", "asyncio.ensure_future")
+    _BLOCKING = {
+        "time.sleep": "time.sleep() blocks the event loop; use asyncio.sleep",
+        "socket.socket": "raw sockets block the loop; use asyncio streams",
+        "socket.create_connection": (
+            "blocking connect; use asyncio.open_connection"
+        ),
+        "subprocess.run": "blocking subprocess; use asyncio.create_subprocess_*",
+        "subprocess.call": "blocking subprocess; use asyncio.create_subprocess_*",
+        "subprocess.check_call": (
+            "blocking subprocess; use asyncio.create_subprocess_*"
+        ),
+        "subprocess.check_output": (
+            "blocking subprocess; use asyncio.create_subprocess_*"
+        ),
+        "subprocess.Popen": "blocking subprocess; use asyncio.create_subprocess_*",
+        "os.system": "os.system blocks the event loop",
+        "urllib.request.urlopen": "blocking HTTP; do I/O off the loop",
+    }
+
+    def _spawn_call(self, node: ast.expr, ctx: Context) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _call_name(node, ctx)
+        if dotted in self._SPAWNERS:
+            return True
+        # loop.create_task(...) on any expression root.
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "create_task"
+        )
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if isinstance(node, ast.Expr):
+            if self._spawn_call(node.value, ctx):
+                ctx.report(
+                    self,
+                    node,
+                    "task handle discarded: keep the Task and await or "
+                    "cancel it, or it dies silently and cannot be drained",
+                )
+            return
+        if ctx.async_depth == 0:
+            return
+        dotted = _call_name(node, ctx)
+        message = self._BLOCKING.get(dotted or "")
+        if message is None and isinstance(node.func, ast.Name):
+            if node.func.id == "open":
+                message = (
+                    "blocking file open() inside async def; do file I/O "
+                    "outside the loop or via a thread"
+                )
+            elif node.func.id == "input":
+                message = "input() blocks the event loop"
+        if message is not None:
+            ctx.report(self, node, message)
+
+
+# --------------------------------------------------------------- wall clock
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads are injectable, so tests and replays can pin time."""
+
+    name = "wall-clock"
+    summary = (
+        "time.time()/datetime.now() only behind the injectable telemetry "
+        "clock (repro.telemetry.events.timestamp / set_wall_clock)"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _WALL = {
+        "time.time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and any(
+                alias.name == "time" for alias in node.names
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    "aliasing time.time hides wall-clock reads from this "
+                    "rule; call repro.telemetry.events.timestamp() instead",
+                )
+            return
+        dotted = _call_name(node, ctx)
+        if dotted in self._WALL:
+            ctx.report(
+                self,
+                node,
+                "%s() reads the ambient wall clock; route it through "
+                "repro.telemetry.events.timestamp() (injectable via "
+                "set_wall_clock) or an injected registry clock" % dotted,
+            )
+
+
+# ------------------------------------------------------------ wire constants
+
+
+@register
+class WireConstantRule(Rule):
+    """One source of truth for struct formats and magic bytes."""
+
+    name = "wire-constants"
+    summary = (
+        "struct format strings only as module-level Struct constants in "
+        "the wire/transport constant modules; magic bytes defined once"
+    )
+    node_types = (ast.Call, ast.Constant)
+
+    #: Modules allowed to define struct layouts and magic byte strings.
+    _CONSTANT_MODULES = (
+        "repro/wire/constants.py",
+        "repro/wire/codec.py",
+        "repro/wire/packing.py",
+        "repro/transport/framing.py",
+    )
+
+    _PACKERS = {
+        "struct.pack",
+        "struct.unpack",
+        "struct.unpack_from",
+        "struct.pack_into",
+        "struct.iter_unpack",
+        "struct.calcsize",
+    }
+
+    _MAGIC = re.compile(rb"^[A-Z]{3,8}$")
+
+    def _sanctioned(self, ctx: Context) -> bool:
+        normalized = ctx.path.replace("\\", "/")
+        return normalized.endswith(self._CONSTANT_MODULES)
+
+    def check(self, node: ast.AST, ctx: Context) -> None:
+        if isinstance(node, ast.Call):
+            dotted = _call_name(node, ctx)
+            literal_fmt = bool(node.args) and isinstance(
+                node.args[0], ast.Constant
+            ) and isinstance(node.args[0].value, str)
+            if dotted in self._PACKERS and literal_fmt:
+                ctx.report(
+                    self,
+                    node,
+                    "inline struct format string; pack/unpack through a "
+                    "module-level struct.Struct constant so the layout has "
+                    "one definition",
+                )
+            elif dotted == "struct.Struct" and literal_fmt:
+                if not self._sanctioned(ctx) or ctx.in_function:
+                    ctx.report(
+                        self,
+                        node,
+                        "struct.Struct layout defined outside the wire/"
+                        "transport constant modules; move it to repro.wire "
+                        "(or annotate a deliberately local framing)",
+                    )
+            return
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, bytes)
+            and self._MAGIC.match(node.value)
+            and not self._sanctioned(ctx)
+        ):
+            ctx.report(
+                self,
+                node,
+                "magic byte literal %r outside the wire/transport constant "
+                "modules; import the named constant instead" % node.value,
+            )
+
+
+#: Names of every registered rule, in catalogue order.
+RULE_NAMES: Tuple[str, ...] = (
+    GlobalRngRule.name,
+    ExactArithmeticRule.name,
+    TypedErrorRule.name,
+    BroadExceptRule.name,
+    AsyncHygieneRule.name,
+    WallClockRule.name,
+    WireConstantRule.name,
+)

@@ -33,6 +33,18 @@ class CalibrationError(ReproError, ValueError):
     """Raised when a re-calibration is configured inconsistently."""
 
 
+class ParameterError(ReproError, ValueError):
+    """Raised when a component parameter is invalid.
+
+    Covers constructor and function arguments that are not data and not
+    a privacy budget: non-positive sensitivities, counts below one,
+    malformed ``HOST:PORT`` endpoint strings, registry name collisions,
+    confidence levels outside ``(0, 1)`` and the like. Subclasses
+    :class:`ValueError` so callers validating inputs generically keep
+    working.
+    """
+
+
 class DistributionError(ReproError, ValueError):
     """Raised when a population value distribution is malformed."""
 
@@ -91,6 +103,18 @@ class TelemetryError(ReproError, ValueError):
     the behaviour of the instrumented code, so these are raised only for
     structural misuse at registration/lookup time — recording values on
     a well-formed instrument never raises.
+    """
+
+
+class StateDeltaError(ReproError, ValueError):
+    """Raised when no trustworthy delta exists between two snapshots.
+
+    :func:`~repro.federation.state_dict_delta` raises this when the
+    earlier snapshot is provably not a prefix of the newer one —
+    mismatched contracts or formats, an attribute kind it cannot
+    difference, or a monotone counter that went down. Callers treat it
+    as "ship a full snapshot instead", never as corruption (that is
+    :class:`WireFormatError`).
     """
 
 

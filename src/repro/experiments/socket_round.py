@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from ..federation import EdgeAggregator, serve_root
 from ..session import (
     LDPClient,
@@ -183,13 +184,13 @@ def parse_endpoint(text: str) -> Tuple[str, int]:
             or not rest.startswith(":")
             or not rest[1:].isdigit()
         ):
-            raise ValueError(
+            raise ParameterError(
                 "expected [HOST]:PORT with a numeric port, got %r" % text
             )
         return host, int(rest[1:])
     host, sep, port = text.rpartition(":")
     if not sep or not host or not port.isdigit():
-        raise ValueError("expected HOST:PORT, got %r" % text)
+        raise ParameterError("expected HOST:PORT, got %r" % text)
     return host, int(port)
 
 

@@ -31,7 +31,7 @@ import asyncio
 import logging
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..exceptions import TransportError, WireFormatError
+from ..exceptions import StateDeltaError, TransportError, WireFormatError
 from ..session.client import ProtocolSpec
 from ..session.schema import Schema
 from ..session.server import Postprocessor, SessionEstimate
@@ -255,6 +255,9 @@ class EdgeAggregator:
         push_error: Optional[Exception] = None
         try:
             await self.push_now()
+        # repro: allow[broad-except] -- capture-and-reraise: the final push
+        # failure (whatever its type) must wait for pusher cleanup and the
+        # stop event, then propagate below; nothing is swallowed.
         except Exception as exc:
             push_error = exc
         await self._close_pusher()
@@ -291,7 +294,11 @@ class EdgeAggregator:
 
     async def _push_loop(self) -> None:
         while not self._stopping:
-            assert self._wake is not None
+            if self._wake is None:
+                raise TransportError(
+                    "push loop is running without its wake event; "
+                    "start() was never awaited"
+                )
             if self.push_every_seconds is not None:
                 try:
                     await asyncio.wait_for(
@@ -308,10 +315,12 @@ class EdgeAggregator:
                 continue  # idle timer tick: nothing new to ship
             try:
                 await self.push_now()
+            # repro: allow[broad-except] -- retry rationale: the push loop
+            # must survive any upstream failure; the error is recorded and
+            # the next trigger (and the final push at stop) retries with
+            # the full cumulative state, so a flapping root costs latency,
+            # never data.
             except Exception as exc:
-                # Keep collecting: the next trigger (and the final push
-                # at stop) retries with the full cumulative state, so a
-                # flapping upstream costs latency, never data.
                 self.last_push_error = exc
                 emit(
                     self._log,
@@ -369,7 +378,7 @@ class EdgeAggregator:
                     ):
                         try:
                             delta = state_dict_delta(state, self._base_state)
-                        except ValueError:
+                        except StateDeltaError:
                             # Not a prefix pair (e.g. the local server
                             # was reset mid-round): ship it all.
                             self._base_state = None

@@ -152,6 +152,9 @@ class StatePusher:
                     "root presents contract %s but this edge aggregates "
                     "under %s" % (bytes(digest).hex(), agreed.fingerprint)
                 )
+        # repro: allow[broad-except] -- cleanup-and-reraise: the failed
+        # handshake's socket must close on every path (including
+        # CancelledError) before the original error propagates.
         except BaseException:
             writer.close()
             raise
@@ -206,6 +209,9 @@ class StatePusher:
         status, message = await read_status(self._reader)
         try:
             raise_for_status(status, message)
+        # repro: allow[broad-except] -- cleanup-and-reraise: the root
+        # closes the stream after an error status, so this side must tear
+        # down too (even on CancelledError) before the error propagates.
         except BaseException:
             await self.close()  # the root closes after an error status
             raise

@@ -632,11 +632,12 @@ class RootAggregator:
                     self._m_checkpoint_bytes.inc(
                         len(encode_document(document))
                     )
+                # repro: allow[broad-except] -- poison rationale: any
+                # checkpoint failure (typed or not) must roll the fold
+                # back and poison the round before the ack, or un-durable
+                # state would satisfy wait_for_users and leak into
+                # merged() despite having no checkpoint behind it.
                 except Exception as exc:
-                    # The fold was never acked, so it must not count:
-                    # roll the edge table back, or un-durable state
-                    # would satisfy wait_for_users and leak into
-                    # merged() despite having no checkpoint behind it.
                     if previous is None:
                         del self._edges[edge_id]
                     else:

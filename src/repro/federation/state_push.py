@@ -52,11 +52,11 @@ still decode — they are full snapshots by definition.
 from __future__ import annotations
 
 import json
-import struct
 import zlib
 from typing import Any, Dict, Mapping, NamedTuple, Optional
 
-from ..exceptions import WireFormatError
+from ..exceptions import StateDeltaError, WireFormatError
+from ..wire.constants import CRC32
 from ..wire.contract import CollectionContract
 
 #: Format tag and version of the push document.
@@ -70,7 +70,7 @@ SUPPORTED_PUSH_VERSIONS = (1, 2)
 PUSH_KIND_SNAPSHOT = "snapshot"
 PUSH_KIND_DELTA = "delta"
 
-_CRC_HEAD = struct.Struct("<I")
+_CRC_HEAD = CRC32
 
 #: Decompression bound for version-2 documents (bomb guard).
 MAX_PUSH_DOCUMENT_BYTES = 1 << 28
@@ -323,14 +323,14 @@ def _delta_oracle(name: str, cur: Mapping, prev: Mapping) -> Dict[str, Any]:
     counts_cur = cur["counts"]
     counts_prev = prev["counts"]
     if len(counts_cur) != len(counts_prev):
-        raise ValueError(
+        raise StateDeltaError(
             "attribute %r: count widths differ (%d vs %d)"
             % (name, len(counts_cur), len(counts_prev))
         )
     counts = [int(a) - int(b) for a, b in zip(counts_cur, counts_prev)]
     users = int(cur["users"]) - int(prev["users"])
     if users < 0 or any(count < 0 for count in counts):
-        raise ValueError(
+        raise StateDeltaError(
             "attribute %r: the earlier snapshot is not a prefix of the "
             "newer one" % name
         )
@@ -341,19 +341,19 @@ def _delta_sums(name: str, cur: Mapping, prev: Mapping) -> Dict[str, Any]:
     sums_cur, sums_prev = cur["sums"], prev["sums"]
     for field in ("kind", "width", "scale_bits"):
         if sums_cur.get(field) != sums_prev.get(field):
-            raise ValueError(
+            raise StateDeltaError(
                 "attribute %r: accumulator %s differs (%r vs %r)"
                 % (name, field, sums_cur.get(field), sums_prev.get(field))
             )
     acc_cur, acc_prev = sums_cur["sums"], sums_prev["sums"]
     if len(acc_cur) != len(acc_prev):
-        raise ValueError(
+        raise StateDeltaError(
             "attribute %r: accumulator widths differ (%d vs %d)"
             % (name, len(acc_cur), len(acc_prev))
         )
     rows = int(sums_cur["rows"]) - int(sums_prev["rows"])
     if rows < 0:
-        raise ValueError(
+        raise StateDeltaError(
             "attribute %r: the earlier snapshot is not a prefix of the "
             "newer one" % name
         )
@@ -390,7 +390,8 @@ def state_dict_delta(
     into ``previous`` with the exact big-integer merge reproduces
     ``current`` bit for bit, which is the invariant delta pushes ride.
 
-    Raises :class:`ValueError` whenever a trustworthy delta cannot be
+    Raises :class:`~repro.exceptions.StateDeltaError` (a
+    :class:`ValueError`) whenever a trustworthy delta cannot be
     formed — mismatched contracts or formats, an attribute kind this
     builder does not know how to difference, or any monotone counter
     (users, rows, oracle counts) that went *down*, which proves the
@@ -400,23 +401,23 @@ def state_dict_delta(
     try:
         for document in (current, previous):
             if not isinstance(document, Mapping):
-                raise ValueError("state snapshots must be mappings")
+                raise StateDeltaError("state snapshots must be mappings")
         for field in ("format", "state_version", "fingerprint"):
             if current.get(field) != previous.get(field):
-                raise ValueError(
+                raise StateDeltaError(
                     "snapshot %s differs (%r vs %r): not the same round"
                     % (field, current.get(field), previous.get(field))
                 )
         if not isinstance(current.get("fingerprint"), str):
-            raise ValueError("snapshots carry no contract fingerprint")
+            raise StateDeltaError("snapshots carry no contract fingerprint")
         users = int(current["users"]) - int(previous["users"])
         if users < 0:
-            raise ValueError(
+            raise StateDeltaError(
                 "the earlier snapshot covers more users than the newer one"
             )
         attrs_cur, attrs_prev = current["attributes"], previous["attributes"]
         if set(attrs_cur) != set(attrs_prev):
-            raise ValueError(
+            raise StateDeltaError(
                 "snapshot attribute sets differ: %s vs %s"
                 % (sorted(attrs_cur), sorted(attrs_prev))
             )
@@ -425,19 +426,19 @@ def state_dict_delta(
             cur, prev = attrs_cur[name], attrs_prev[name]
             kind = cur.get("kind")
             if kind != prev.get("kind"):
-                raise ValueError(
+                raise StateDeltaError(
                     "attribute %r changed kind (%r vs %r)"
                     % (name, kind, prev.get("kind"))
                 )
             builder = _DELTA_BY_KIND.get(kind)
             if builder is None:
-                raise ValueError(
+                raise StateDeltaError(
                     "attribute %r: no delta rule for state kind %r"
                     % (name, kind)
                 )
             attributes[name] = builder(name, cur, prev)
     except (KeyError, TypeError) as exc:
-        raise ValueError("malformed state snapshot: %s" % exc) from None
+        raise StateDeltaError("malformed state snapshot: %s" % exc) from None
     return {
         "format": current["format"],
         "state_version": current["state_version"],

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import DimensionError
 from ..mechanisms.base import Mechanism
 from .deviation import DeviationModel, build_deviation_model
 from .population import ValueDistribution
@@ -90,7 +91,7 @@ def benchmark_mechanisms(
     """
     xi = np.asarray(list(suprema), dtype=np.float64)
     if xi.size == 0:
-        raise ValueError("need at least one supremum")
+        raise DimensionError("need at least one supremum")
     rows: List[BenchmarkRow] = []
     for mechanism in mechanisms:
         pop = (populations or {}).get(mechanism.name, default_population)

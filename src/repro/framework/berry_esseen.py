@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import DistributionError, ParameterError
 from ..mechanisms.base import Mechanism, validate_epsilon
 from ..rng import RngLike
 from .population import ValueDistribution
@@ -58,7 +59,7 @@ class BerryEsseenBound:
     def at_reports(self, reports: int) -> "BerryEsseenBound":
         """Re-evaluate the same moments at a different ``r`` (O(1/√r))."""
         if reports < 1:
-            raise ValueError("reports must be >= 1, got %d" % reports)
+            raise ParameterError("reports must be >= 1, got %d" % reports)
         scaled = self.bound * math.sqrt(self.reports / reports)
         return BerryEsseenBound(
             bound=scaled,
@@ -95,10 +96,10 @@ def berry_esseen_bound(
     """
     eps = validate_epsilon(epsilon)
     if reports < 1:
-        raise ValueError("reports must be >= 1, got %d" % reports)
+        raise ParameterError("reports must be >= 1, got %d" % reports)
 
     if mechanism.bounded and population is None:
-        raise ValueError(
+        raise DistributionError(
             "mechanism %r is bounded; a population distribution is required"
             % mechanism.name
         )

@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 from scipy import stats
 
-from ..exceptions import DistributionError
+from ..exceptions import DistributionError, ParameterError
 from ..mechanisms.base import Mechanism, validate_epsilon
 from .population import ValueDistribution
 
@@ -75,13 +75,13 @@ class DeviationModel:
     def interval_probability(self, low: float, high: float) -> float:
         """``P(low ≤ θ̂ − θ̄ ≤ high)``."""
         if high < low:
-            raise ValueError("empty interval: [%g, %g]" % (low, high))
+            raise ParameterError("empty interval: [%g, %g]" % (low, high))
         return float(self.cdf(np.float64(high)) - self.cdf(np.float64(low)))
 
     def supremum_probability(self, xi: float) -> float:
         """``P(|θ̂ − θ̄| ≤ ξ)`` — the per-dimension Table II quantity."""
         if xi < 0:
-            raise ValueError("supremum must be non-negative, got %g" % xi)
+            raise ParameterError("supremum must be non-negative, got %g" % xi)
         return self.interval_probability(-xi, xi)
 
     def exceedance_probability(self, threshold: float) -> float:
@@ -97,7 +97,7 @@ class DeviationModel:
         a literal Gaussian.
         """
         if not 0.0 < confidence < 1.0:
-            raise ValueError("confidence must lie in (0, 1), got %g" % confidence)
+            raise ParameterError("confidence must lie in (0, 1), got %g" % confidence)
         z = stats.norm.ppf(0.5 + confidence / 2.0)
         return abs(self.delta) + z * self.sigma
 
@@ -133,7 +133,7 @@ def build_deviation_model(
     """
     eps = validate_epsilon(epsilon)
     if reports < 1:
-        raise ValueError("reports must be >= 1, got %d" % reports)
+        raise ParameterError("reports must be >= 1, got %d" % reports)
 
     if mechanism.bounded:
         if population is None:

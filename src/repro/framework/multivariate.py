@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..exceptions import DimensionError
+from ..exceptions import DimensionError, ParameterError
 from ..mechanisms.base import Mechanism
 from .deviation import DeviationModel, build_deviation_model
 from .population import ValueDistribution
@@ -152,7 +152,7 @@ class MultivariateDeviationModel:
                 % (xi.size, self.ndim)
             )
         if np.any(xi < 0):
-            raise ValueError("suprema must be non-negative")
+            raise ParameterError("suprema must be non-negative")
         return xi
 
 

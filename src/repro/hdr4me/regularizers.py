@@ -24,6 +24,8 @@ import abc
 
 import numpy as np
 
+from ..exceptions import ParameterError
+
 
 def soft_threshold(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
     """Elementwise soft-thresholding operator (paper Eq. 30/34).
@@ -34,7 +36,7 @@ def soft_threshold(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
     z = np.asarray(values, dtype=np.float64)
     lam = np.asarray(thresholds, dtype=np.float64)
     if np.any(lam < 0):
-        raise ValueError("thresholds must be non-negative")
+        raise ParameterError("thresholds must be non-negative")
     return np.sign(z) * np.maximum(np.abs(z) - lam, 0.0)
 
 
@@ -43,7 +45,7 @@ def ridge_shrink(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
     z = np.asarray(values, dtype=np.float64)
     lam = np.asarray(weights, dtype=np.float64)
     if np.any(lam < 0):
-        raise ValueError("weights must be non-negative")
+        raise ParameterError("weights must be non-negative")
     return z / (2.0 * lam + 1.0)
 
 

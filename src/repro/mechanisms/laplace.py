@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from ..rng import RngLike, ensure_rng
 from .base import AdditiveNoiseMechanism, validate_epsilon
 
@@ -32,7 +33,7 @@ class LaplaceMechanism(AdditiveNoiseMechanism):
 
     def __init__(self, sensitivity: float = 2.0) -> None:
         if sensitivity <= 0:
-            raise ValueError("sensitivity must be positive, got %g" % sensitivity)
+            raise ParameterError("sensitivity must be positive, got %g" % sensitivity)
         self.sensitivity = float(sensitivity)
 
     def scale(self, epsilon: float) -> float:

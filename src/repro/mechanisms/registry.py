@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..exceptions import ParameterError
 from .base import Mechanism
 from .duchi import DuchiMechanism
 from .hybrid import HybridMechanism
@@ -56,9 +57,9 @@ def register_mechanism(name: str, factory: MechanismFactory, overwrite: bool = F
     """
     key = name.lower()
     if key in _REGISTRY and not overwrite:
-        raise ValueError("mechanism %r is already registered" % name)
+        raise ParameterError("mechanism %r is already registered" % name)
     if key in _PROTOCOLS or key in _RESERVED_PROTOCOL_NAMES:
-        raise ValueError(
+        raise ParameterError(
             "name %r is taken by the unified protocol registry; a mechanism "
             "under it would be unreachable through get_protocol" % name
         )
@@ -117,7 +118,7 @@ def register_protocol(
     """
     key = name.lower()
     if not overwrite and (key in _PROTOCOLS or key in _REGISTRY):
-        raise ValueError("protocol %r is already registered" % name)
+        raise ParameterError("protocol %r is already registered" % name)
     _PROTOCOLS[key] = factory
 
 

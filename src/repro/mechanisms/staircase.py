@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from ..rng import RngLike, ensure_rng
 from .base import AdditiveNoiseMechanism, validate_epsilon
 
@@ -53,9 +54,9 @@ class StaircaseMechanism(AdditiveNoiseMechanism):
 
     def __init__(self, sensitivity: float = 2.0, gamma: Optional[float] = None) -> None:
         if sensitivity <= 0:
-            raise ValueError("sensitivity must be positive, got %g" % sensitivity)
+            raise ParameterError("sensitivity must be positive, got %g" % sensitivity)
         if gamma is not None and not 0.0 < gamma < 1.0:
-            raise ValueError("gamma must lie in (0, 1), got %g" % gamma)
+            raise ParameterError("gamma must lie in (0, 1), got %g" % gamma)
         self.sensitivity = float(sensitivity)
         self.gamma = gamma
 

@@ -14,6 +14,8 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from .exceptions import ParameterError
+
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
@@ -41,7 +43,7 @@ def spawn_children(rng: RngLike, count: int) -> Iterator[np.random.Generator]:
     whole sweep stays reproducible from one seed.
     """
     if count < 0:
-        raise ValueError("count must be non-negative, got %d" % count)
+        raise ParameterError("count must be non-negative, got %d" % count)
     parent = ensure_rng(rng)
     for _ in range(count):
         yield np.random.default_rng(parent.integers(0, 2**63 - 1))

@@ -43,6 +43,9 @@ class JsonFileStore(CheckpointStore):
         try:
             scratch.write_text(blob.decode("utf-8") + "\n")
             os.replace(scratch, self.path)
+        # repro: allow[broad-except] -- cleanup-and-reraise: the atomic
+        # save's scratch file must not survive any failure (including
+        # CancelledError); the original error propagates untouched.
         except BaseException:
             with contextlib.suppress(OSError):
                 scratch.unlink()

@@ -28,6 +28,8 @@ from .events import (
     emit,
     enable_json_logs,
     event_logger,
+    set_wall_clock,
+    timestamp,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -53,4 +55,6 @@ __all__ = [
     "emit",
     "enable_json_logs",
     "event_logger",
+    "set_wall_clock",
+    "timestamp",
 ]

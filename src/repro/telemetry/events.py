@@ -39,7 +39,7 @@ import json
 import logging
 import sys
 import time
-from typing import Any, Optional, TextIO
+from typing import Any, Callable, Optional, TextIO
 
 #: Root of the event-logging namespace; every emitter is a child logger.
 EVENT_LOGGER_NAME = "repro"
@@ -127,9 +127,33 @@ def disable_json_logs(handler: logging.Handler) -> None:
     logging.getLogger(EVENT_LOGGER_NAME).removeHandler(handler)
 
 
+#: The process-wide wall-clock source. ``time.time`` by default; tests
+#: and replay tooling swap it with :func:`set_wall_clock`. This
+#: *reference* (never a direct call) is the single place the library
+#: touches the ambient wall clock — the ``wall-clock`` analysis rule
+#: keeps every other module on :func:`timestamp` or an injected
+#: registry clock.
+_wall_clock: Callable[[], float] = time.time
+
+
 def timestamp() -> float:
-    """Wall-clock seconds since the epoch (separate from metric clocks)."""
-    return time.time()
+    """Wall-clock seconds since the epoch (separate from metric clocks).
+
+    Reads the injectable module clock, so a test can pin event
+    timestamps with :func:`set_wall_clock` without monkeypatching
+    :mod:`time` globally.
+    """
+    return _wall_clock()
+
+
+def set_wall_clock(
+    clock: Optional[Callable[[], float]] = None,
+) -> Callable[[], float]:
+    """Install ``clock`` as the wall-clock source (``None`` restores
+    ``time.time``). Returns the clock now in effect."""
+    global _wall_clock
+    _wall_clock = time.time if clock is None else clock
+    return _wall_clock
 
 
 __all__ = [
@@ -139,5 +163,6 @@ __all__ = [
     "emit",
     "enable_json_logs",
     "event_logger",
+    "set_wall_clock",
     "timestamp",
 ]

@@ -550,7 +550,10 @@ class CollectionGateway:
                 continue
             try:
                 await self.checkpoint()
-            except Exception as exc:  # poison: acks must stop flowing
+            # repro: allow[broad-except] -- poison rationale: a timer
+            # checkpoint failure of any type must stop acks (durability
+            # can no longer be promised), so the gateway is poisoned.
+            except Exception as exc:
                 emit(
                     self._log,
                     "checkpoint_failed",
@@ -599,6 +602,10 @@ class CollectionGateway:
                         users=users,
                         seconds=round(seconds, 6),
                     )
+            # repro: allow[broad-except] -- poison rationale: a fold that
+            # raises anything leaves the shard partially updated; the whole
+            # gateway is poisoned so estimate()/merged() re-raise instead
+            # of serving a silently partial aggregate.
             except Exception as exc:
                 emit(
                     self._log,
@@ -889,6 +896,10 @@ class CollectionGateway:
                 # frames that triggered this checkpoint survive SIGKILL.
                 try:
                     await self.checkpoint()
+                # repro: allow[broad-except] -- poison rationale: the
+                # frame-triggered checkpoint is durable-BEFORE-ack; any
+                # failure must refuse the frame and poison the gateway so
+                # no sender hears OK for un-durable frames.
                 except Exception as exc:
                     emit(
                         self._log,

@@ -192,6 +192,9 @@ class AsyncReportSender:
                     "gateway presents contract %s but this sender operates "
                     "under %s" % (bytes(digest).hex(), agreed.fingerprint)
                 )
+        # repro: allow[broad-except] -- cleanup-and-reraise: the failed
+        # handshake's socket must close on every path (including
+        # CancelledError) before the original error propagates.
         except BaseException:
             writer.close()
             raise
@@ -239,6 +242,9 @@ class AsyncReportSender:
         status, message = await read_status(self._reader)
         try:
             raise_for_status(status, message)
+        # repro: allow[broad-except] -- cleanup-and-reraise: the gateway
+        # closes the stream after an error status, so this side must tear
+        # down too (even on CancelledError) before the error propagates.
         except BaseException:
             await self.close()  # the gateway closes after an error status
             raise

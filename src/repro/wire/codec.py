@@ -87,6 +87,7 @@ import numpy as np
 from ..exceptions import WireFormatError
 from ..freq_oracles.olh import OlhReports
 from .contract import DIGEST_SIZE, CollectionContract
+from .constants import CRC32, U8, U32, U64
 from .packing import (
     SPARSE_DENSITY_CUTOFF,
     dense_from_sparse,
@@ -115,10 +116,10 @@ SPARSE_MATRIX = 5
 
 _HEADER = struct.Struct("<4sH%dsQI" % DIGEST_SIZE)
 _ATTR_HEAD = struct.Struct("<HHQB")
-_U8 = struct.Struct("<B")
-_U32 = struct.Struct("<I")
-_U64 = struct.Struct("<Q")
-_CRC = struct.Struct("<I")
+_U8 = U8
+_U32 = U32
+_U64 = U64
+_CRC = CRC32
 
 _FLOAT = np.dtype("<f8")
 _INT = np.dtype("<i8")

@@ -1,0 +1,34 @@
+"""Primitive wire-layout constants shared across the stack.
+
+Single source of truth for the little-endian fixed-width scalar layouts
+that every binary artefact in this project is framed with. Composite,
+format-specific layouts (frame headers, hello exchanges) stay next to
+the codec that owns them — :mod:`repro.wire.codec` for batch frames,
+:mod:`repro.transport.framing` for the socket protocol — but both build
+on these primitives, and other packages (federation pushes, checkpoint
+stores) import from here instead of re-spelling format strings.
+
+The ``wire-constants`` analysis rule (``python -m repro.analysis``)
+enforces the discipline: ``struct`` format strings may only be defined
+as module-level ``Struct`` constants inside the wire/transport constant
+modules, and magic byte literals are defined exactly once.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["CRC32", "U8", "U32", "U64"]
+
+#: Unsigned 8-bit scalar (little-endian, as everything on this wire).
+U8 = struct.Struct("<B")
+
+#: Unsigned 32-bit scalar.
+U32 = struct.Struct("<I")
+
+#: Unsigned 64-bit scalar.
+U64 = struct.Struct("<Q")
+
+#: CRC-32 seal prefix — layout-identical to :data:`U32`, named
+#: separately because it means "integrity seal", not "a count".
+CRC32 = struct.Struct("<I")

@@ -74,3 +74,61 @@ class TestSingleCatchAll:
         plan = BudgetPlan(epsilon=1.0, dimensions=2, sampled_dimensions=1)
         with pytest.raises(ReproError):
             Aggregator(LaplaceMechanism(), plan).aggregate()
+
+
+class TestTypedRaisesAcrossTheLibrary:
+    """Converted raise sites keep their messages and their ValueError base.
+
+    These sites used to raise bare ValueError; they now raise classes
+    from the repro hierarchy (enforced by the ``typed-errors`` analysis
+    rule), and because every one subclasses ValueError, pre-existing
+    callers that caught ValueError still work.
+    """
+
+    def test_parameter_error_is_value_error(self):
+        from repro import ParameterError, StateDeltaError
+
+        assert issubclass(ParameterError, ReproError)
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(StateDeltaError, ReproError)
+        assert issubclass(StateDeltaError, ValueError)
+
+    def test_spawn_children_rejects_negative_count(self):
+        from repro import ParameterError
+        from repro.rng import spawn_children
+
+        with pytest.raises(ParameterError, match="non-negative"):
+            list(spawn_children(7, -1))
+        with pytest.raises(ValueError):  # old contract still holds
+            list(spawn_children(7, -1))
+
+    def test_endpoint_parse_raises_parameter_error(self):
+        from repro import ParameterError
+        from repro.experiments.socket_round import parse_endpoint
+
+        with pytest.raises(ParameterError, match="HOST:PORT"):
+            parse_endpoint("no-port-here")
+        with pytest.raises(ParameterError, match="PORT"):
+            parse_endpoint("host:not-a-number")
+
+    def test_registry_rejects_duplicate_registration(self):
+        from repro import ParameterError
+        from repro.mechanisms import register_mechanism
+        from repro.mechanisms.laplace import LaplaceMechanism
+
+        with pytest.raises(ParameterError, match="already registered"):
+            register_mechanism("laplace", LaplaceMechanism)
+
+    def test_laplace_rejects_nonpositive_sensitivity(self):
+        from repro import ParameterError
+        from repro.mechanisms.laplace import LaplaceMechanism
+
+        with pytest.raises(ParameterError, match="positive"):
+            LaplaceMechanism(sensitivity=0.0)
+
+    def test_state_delta_error_on_incompatible_snapshots(self):
+        from repro import StateDeltaError
+        from repro.federation.state_push import state_dict_delta
+
+        with pytest.raises(StateDeltaError):
+            state_dict_delta({"shape": (2, 2)}, {"shape": (3, 3)})
